@@ -1,0 +1,44 @@
+// Fig 4-7 — "Failure Probability v/s number of colliding nodes".
+// (a) nodes pick from a fixed congestion window cw ∈ {8, 16, 32};
+// (b) nodes use 802.11 binary exponential backoff.
+// The greedy §4.5 chunk scheduler decodes n senders from n collisions
+// unless the random offsets are degenerate (Assertion 4.5.1).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "zz/common/table.h"
+#include "zz/mac/offsets.h"
+
+int main() {
+  using namespace zz;
+  Rng rng(47);
+  const std::size_t trials = bench::scaled(4000);
+
+  std::printf("Fig 4-7(a): greedy failure probability, fixed cw (%zu trials)\n",
+              trials);
+  Table a({"nodes", "cw=8", "cw=16", "cw=32"});
+  for (std::size_t n = 2; n <= 9; ++n) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (int cw : {8, 16, 32}) {
+      mac::OffsetSimConfig cfg;
+      cfg.cw = cw;
+      row.push_back(
+          Table::num(mac::greedy_failure_probability(rng, n, trials, cfg), 4));
+    }
+    a.add_row(row);
+  }
+  a.print();
+
+  std::printf("\nFig 4-7(b): greedy failure probability, exponential backoff\n");
+  Table b({"nodes", "P(fail)"});
+  for (std::size_t n = 2; n <= 9; ++n) {
+    mac::OffsetSimConfig cfg;
+    cfg.exponential_backoff = true;
+    b.add_row({std::to_string(n),
+               Table::num(mac::greedy_failure_probability(rng, n, trials, cfg), 5)});
+  }
+  b.print();
+  std::printf("\nPaper shape: failure drops as cw grows and stays low (<~1e-2)\n"
+              "for >2 nodes; BEB pushes it lower still.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig 5-3 — "Comparison of Bit Error Rate": ZigZag decodes collisions with
+// BER close to interference-free transmission, and forward+backward
+// decoding with MRC pushes it below (paper: 1.4x lower on average).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "zz/common/table.h"
+
+using namespace zz;
+
+int main() {
+  Rng rng(53);
+  const std::size_t pairs = bench::scaled(8);
+  const std::size_t payload = 300;
+
+  Table t({"SNR (dB)", "Collision-Free", "ZigZag fwd-only", "ZigZag fwd+bwd",
+           "undecoded"});
+  double sum_cf = 0, sum_full = 0;
+  int rows = 0;
+
+  for (double snr = 5.0; snr <= 12.0; snr += 1.0) {
+    // The paper's BER metric is physical-layer: averaged over packets whose
+    // framing decoded (header failures are counted separately, like sync
+    // losses in the prototype).
+    double ber_cf = 0, ber_fwd = 0, ber_full = 0;
+    std::size_t n_cf = 0, n_fwd = 0, n_full = 0, undecoded = 0;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      auto s = bench::make_pair_scenario(rng, payload, snr,
+                                         100 + rng.uniform_int(0, 300),
+                                         600 + rng.uniform_int(0, 600));
+      const zigzag::CollisionInput inputs[2] = {s.in1, s.in2};
+
+      zigzag::DecodeOptions fwd;
+      fwd.backward_pass = false;
+      fwd.refinement_passes = 0;
+      const auto rf = zigzag::ZigZagDecoder(fwd).decode({inputs, 2}, s.profiles, 2);
+      const auto rb = zigzag::ZigZagDecoder().decode({inputs, 2}, s.profiles, 2);
+
+      auto tally = [&undecoded](const bench::Party& party,
+                                const zigzag::PacketResult& r, double& acc,
+                                std::size_t& n) {
+        if (!r.header_ok) {
+          ++undecoded;
+          return;
+        }
+        acc += bench::packet_ber(party.frame, r);
+        ++n;
+      };
+      tally(s.alice, rf.packets[0], ber_fwd, n_fwd);
+      tally(s.bob, rf.packets[1], ber_fwd, n_fwd);
+      tally(s.alice, rb.packets[0], ber_full, n_full);
+      tally(s.bob, rb.packets[1], ber_full, n_full);
+
+      // Collision-free reference: the same two packets in separate slots.
+      const phy::StandardReceiver std_rx;
+      for (const auto* party : {&s.alice, &s.bob}) {
+        const auto ch = chan::retransmission_channel(rng, party->channel, 0.0);
+        const CVec rx = chan::clean_reception(rng, party->frame.symbols, ch);
+        const auto d = std_rx.decode(rx, &party->profile);
+        if (!d.header_ok) {
+          ++undecoded;
+          continue;
+        }
+        ber_cf += bit_error_rate(party->frame.air_bits(), d.air_bits);
+        ++n_cf;
+      }
+    }
+    const double cf = n_cf ? ber_cf / static_cast<double>(n_cf) : 0.0;
+    const double f1 = n_fwd ? ber_fwd / static_cast<double>(n_fwd) : 0.0;
+    const double f2 = n_full ? ber_full / static_cast<double>(n_full) : 0.0;
+    sum_cf += cf;
+    sum_full += f2;
+    ++rows;
+    t.add_row({Table::num(snr, 3), Table::num(cf, 3), Table::num(f1, 3),
+               Table::num(f2, 3),
+               std::to_string(undecoded) + "/" + std::to_string(6 * pairs)});
+  }
+  t.print("Fig 5-3: BER vs SNR (mean packet BER over " +
+          std::to_string(pairs) + " collision pairs per point)");
+  std::printf("\nAvg collision-free BER %.2e vs fwd+bwd ZigZag %.2e "
+              "(paper: fwd+bwd is ~1.4x LOWER than collision-free)\n",
+              sum_cf / rows, sum_full / rows);
+  return 0;
+}

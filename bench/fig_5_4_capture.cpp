@@ -1,0 +1,48 @@
+// Fig 5-4 — throughput vs SINR in capture-effect scenarios: Alice moves
+// closer to the AP while Bob stays put. ZigZag beats both 802.11 (which
+// starves Bob) and the Collision-Free Scheduler (which cannot exploit the
+// widening capacity), peaking toward 2x when single-collision cancellation
+// kicks in.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "zz/common/table.h"
+#include "zz/testbed/experiment.h"
+
+using namespace zz;
+
+int main() {
+  const double snr_bob = 12.0;
+  testbed::ExperimentConfig cfg;
+  cfg.packets_per_sender = bench::scaled(8);
+  cfg.payload_bytes = 200;
+
+  Table t({"SINR (dB)", "802.11 A", "802.11 B", "802.11 tot", "CFS tot",
+           "ZigZag A", "ZigZag B", "ZigZag tot"});
+  for (double sinr = 0.0; sinr <= 16.0; sinr += 2.0) {
+    Rng rng(60 + static_cast<std::uint64_t>(sinr));
+    const double snr_alice = snr_bob + sinr;
+    const auto r11 = testbed::run_pair(rng, testbed::ReceiverKind::Current80211,
+                                       snr_alice, snr_bob, 0.0, cfg);
+    const auto rcf = testbed::run_pair(
+        rng, testbed::ReceiverKind::CollisionFreeScheduler, snr_alice, snr_bob,
+        0.0, cfg);
+    const auto rzz = testbed::run_pair(rng, testbed::ReceiverKind::ZigZag,
+                                       snr_alice, snr_bob, 0.0, cfg);
+    t.add_row({Table::num(sinr, 3),
+               Table::num(r11.concurrent_throughput[0], 3),
+               Table::num(r11.concurrent_throughput[1], 3),
+               Table::num(r11.total_throughput(), 3),
+               Table::num(rcf.total_throughput(), 3),
+               Table::num(rzz.concurrent_throughput[0], 3),
+               Table::num(rzz.concurrent_throughput[1], 3),
+               Table::num(rzz.total_throughput(), 3)});
+  }
+  t.print("Fig 5-4: normalized throughput vs SINR = SNR_A - SNR_B "
+          "(SNR_B fixed at 12 dB)");
+  std::printf("\nPaper shape: 802.11 ~0 until capture lets Alice through "
+              "(Bob never); CFS pinned at 1.0;\nZigZag starts at ~1.0 "
+              "(collision pair decoding) and rises toward 2.0 once capture\n"
+              "enables single-collision cancellation.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Table 5.1 — micro-evaluation of ZigZag's components:
+//   * collision-detector false positives / false negatives (β = 0.65),
+//   * frequency & phase tracking on/off for 800 B and 1500 B packets,
+//   * inverse-ISI reconstruction filter on/off at 10 dB and 20 dB.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "zz/common/table.h"
+#include "zz/zigzag/detector.h"
+
+using namespace zz;
+
+namespace {
+
+// Fraction of collision pairs whose packets BOTH come out below the §5.1(f)
+// BER threshold under the given decoder options.
+double success_rate(Rng& rng, std::size_t pairs, std::size_t payload,
+                    double snr_db, const zigzag::DecodeOptions& opt) {
+  const zigzag::ZigZagDecoder dec(opt);
+  std::size_t good = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto span = static_cast<std::ptrdiff_t>(payload * 4);
+    auto s = bench::make_pair_scenario(
+        rng, payload, snr_db, 100 + rng.uniform_int(0, 400),
+        600 + rng.uniform_int(0, span / 2));
+    const zigzag::CollisionInput inputs[2] = {s.in1, s.in2};
+    const auto res = dec.decode({inputs, 2}, s.profiles, 2);
+    if (bench::packet_ber(s.alice.frame, res.packets[0]) < 1e-3 &&
+        bench::packet_ber(s.bob.frame, res.packets[1]) < 1e-3)
+      ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(51);
+
+  // --- Correlation detector FP/FN across SNR 6..20 dB. The paper reports
+  // 3.1%/1.9% at its β = 0.65 operating point; our waveform correlator has
+  // different statistics, so we report the whole β tradeoff (§5.3a:
+  // "Higher values eliminate false positives but make ZigZag miss some
+  // collisions, whereas lower values trigger collision-detection on clean
+  // packets"). Note that per §5.3(a) neither error kind produces incorrect
+  // decoding — FPs cost computation, FNs cost missed opportunities.
+  const std::size_t dets = bench::scaled(200);
+  Table t1({"beta", "false positives", "false negatives"});
+  for (double beta : {0.65, 0.72, 0.80, 0.90}) {
+    zigzag::DetectorConfig dcfg;
+    dcfg.beta = beta;
+    const zigzag::CollisionDetector detector(dcfg);
+    std::size_t fp = 0, fn = 0;
+    for (std::size_t i = 0; i < dets; ++i) {
+      const double snr = rng.uniform(6.0, 20.0);
+      // Clean packet: any detection away from the single true start is a FP
+      // (partial correlation overlaps near it are the same event).
+      auto lone = bench::make_party(rng, 1, 7, 200, snr);
+      const CVec rx = chan::clean_reception(rng, lone.frame.symbols, lone.channel);
+      const auto d1 = detector.detect(rx, {&lone.profile, 1});
+      for (const auto& d : d1)
+        if (std::llabs(d.origin - 64) > 128) {
+          ++fp;
+          break;
+        }
+      // Collision: missing the buried second start is a FN.
+      auto s = bench::make_pair_scenario(rng, 200, snr, 300, 700);
+      const auto d2 = detector.detect(s.c1.samples, s.profiles);
+      bool found = false;
+      for (const auto& d : d2)
+        if (std::llabs(d.origin - s.c1.truth[1].start) <= 16) found = true;
+      if (!found) ++fn;
+    }
+    t1.add_row({Table::num(beta, 3),
+                Table::pct(static_cast<double>(fp) / dets, 1),
+                Table::pct(static_cast<double>(fn) / dets, 1)});
+  }
+  t1.print("Table 5.1 (a): collision detector beta sweep, SNR 6-20 dB "
+           "(paper at its beta=0.65: FP 3.1%, FN 1.9%)");
+
+  // --- Frequency & phase tracking (paper: with 99.6%/98.2%, without 89%/0%).
+  const std::size_t tp = bench::scaled(12);
+  zigzag::DecodeOptions on, off;
+  off.reconstruction_tracking = false;
+  Table t2({"Pkt size (bytes)", "800", "1500"});
+  t2.add_row({"Success with tracking",
+              Table::pct(success_rate(rng, tp, 800, 12.0, on), 1),
+              Table::pct(success_rate(rng, tp, 1500, 12.0, on), 1)});
+  t2.add_row({"Success without",
+              Table::pct(success_rate(rng, tp, 800, 12.0, off), 1),
+              Table::pct(success_rate(rng, tp, 1500, 12.0, off), 1)});
+  t2.print("Table 5.1 (b): frequency & phase tracking (paper: 99.6/98.2 vs 89/0)");
+
+  // --- Inverse-ISI filter (paper: with 99.6%/100%, without 47%/96%).
+  const std::size_t ip = bench::scaled(16);
+  zigzag::DecodeOptions isi_on, isi_off;
+  isi_off.isi_reconstruction = false;
+  Table t3({"SNR", "10 dB", "20 dB"});
+  t3.add_row({"Success with ISI filter",
+              Table::pct(success_rate(rng, ip, 300, 10.0, isi_on), 1),
+              Table::pct(success_rate(rng, ip, 300, 20.0, isi_on), 1)});
+  t3.add_row({"Success without",
+              Table::pct(success_rate(rng, ip, 300, 10.0, isi_off), 1),
+              Table::pct(success_rate(rng, ip, 300, 20.0, isi_off), 1)});
+  t3.print("Table 5.1 (c): inverse-ISI reconstruction (paper: 99.6/100 vs 47/96)");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Capture-effect scenarios (Fig 4-1 d/e, §5.5): as Alice's power grows,
+// ZigZag transitions from pair decoding (throughput ~1) to single-collision
+// interference cancellation (throughput ~2) — without being told.
+//
+//   $ ./capture_effect_demo
+#include <cstdio>
+
+#include "zz/common/rng.h"
+#include "zz/common/table.h"
+#include "zz/testbed/experiment.h"
+
+using namespace zz;
+
+int main() {
+  testbed::ExperimentConfig cfg;
+  cfg.packets_per_sender = 8;
+  cfg.payload_bytes = 200;
+
+  Table t({"SINR (dB)", "ZigZag Alice", "ZigZag Bob", "ZigZag total",
+           "802.11 total"});
+  for (double sinr : {0.0, 6.0, 12.0, 16.0}) {
+    Rng rng(11);
+    const auto zz = testbed::run_pair(rng, testbed::ReceiverKind::ZigZag,
+                                      12.0 + sinr, 12.0, 0.0, cfg);
+    Rng rng2(11);
+    const auto r11 = testbed::run_pair(rng2, testbed::ReceiverKind::Current80211,
+                                       12.0 + sinr, 12.0, 0.0, cfg);
+    t.add_row({Table::num(sinr, 3), Table::num(zz.concurrent_throughput[0], 3),
+               Table::num(zz.concurrent_throughput[1], 3),
+               Table::num(zz.total_throughput(), 3),
+               Table::num(r11.total_throughput(), 3)});
+  }
+  t.print("Capture effect: Alice's SNR grows, Bob fixed at 12 dB");
+  std::printf("\nAt high SINR ZigZag decodes Alice directly, subtracts her, "
+              "and decodes Bob from the\nsame collision — two packets per "
+              "airtime slot.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// §6(a) future work: layering a convolutional code under ZigZag. The
+// decoder's residual ~1e-3 bit errors — which cost a CRC-gated receiver the
+// whole packet — are exactly what the K=7 rate-1/2 code mops up.
+//
+//   $ ./coded_zigzag_demo
+#include <cstdio>
+
+#include "zz/chan/channel.h"
+#include "zz/coding/convolutional.h"
+#include "zz/common/mathutil.h"
+#include "zz/common/rng.h"
+#include "zz/common/table.h"
+#include "zz/emu/collision.h"
+#include "zz/phy/receiver.h"
+#include "zz/phy/transmitter.h"
+#include "zz/phy/scrambler.h"
+#include "zz/zigzag/decoder.h"
+
+using namespace zz;
+
+int main() {
+  Rng rng(66);
+  const coding::ConvolutionalCode code;
+
+  // The "application payload" is coded before framing: 150 info bytes become
+  // a 306-byte coded payload.
+  const Bits info = rng.bits(150 * 8);
+  const Bits coded = code.encode(info);
+  Bytes coded_payload((coded.size() + 7) / 8);
+  for (std::size_t i = 0; i < coded.size(); ++i)
+    if (coded[i]) coded_payload[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+
+  std::size_t trials = 0, uncoded_ok = 0, coded_ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    phy::FrameHeader ha;
+    ha.sender_id = 1;
+    ha.seq = static_cast<std::uint16_t>(t);
+    ha.payload_bytes = static_cast<std::uint16_t>(coded_payload.size());
+    auto fa = phy::build_frame(ha, coded_payload);
+    phy::FrameHeader hb = ha;
+    hb.sender_id = 2;
+    hb.seq = static_cast<std::uint16_t>(100 + t);
+    auto fb = phy::build_frame(hb, rng.bytes(coded_payload.size()));
+
+    chan::ImpairmentConfig icfg;
+    icfg.snr_db = 7.5;  // low SNR: uncoded packets barely squeak by
+    auto ca = chan::random_channel(rng, icfg);
+    auto cb = chan::random_channel(rng, icfg);
+    auto c1 = emu::CollisionBuilder().add(fa, ca, 0).add(fb, cb, 250).build(rng);
+    auto c2 = emu::CollisionBuilder()
+                  .add(phy::with_retry(fa, true), chan::retransmission_channel(rng, ca), 0)
+                  .add(phy::with_retry(fb, true), chan::retransmission_channel(rng, cb), 800)
+                  .build(rng);
+
+    phy::SenderProfile pa, pb;
+    pa.id = 1; pa.freq_offset = ca.freq_offset; pa.snr_db = 7.5;
+    pa.isi = ca.isi; pa.equalizer = ca.isi.inverse(7, 3);
+    pb.id = 2; pb.freq_offset = cb.freq_offset; pb.snr_db = 7.5;
+    pb.isi = cb.isi; pb.equalizer = cb.isi.inverse(7, 3);
+    std::vector<phy::SenderProfile> profiles{pa, pb};
+
+    auto det = [&](const emu::Reception& rec, int idx, const phy::SenderProfile& p, int pi) {
+      const auto pe = phy::estimate_at_peak(
+          rec.samples, static_cast<std::size_t>(rec.truth[idx].start), p.freq_offset);
+      zigzag::Detection d;
+      d.origin = pe.origin; d.mu = pe.mu; d.h = pe.h;
+      d.freq_offset = p.freq_offset; d.metric = pe.metric; d.profile_index = pi;
+      return d;
+    };
+    zigzag::CollisionInput i1{&c1.samples, {{0, det(c1, 0, pa, 0)}, {1, det(c1, 1, pb, 1)}}, false};
+    zigzag::CollisionInput i2{&c2.samples, {{0, det(c2, 0, pa, 0)}, {1, det(c2, 1, pb, 1)}}, true};
+    const zigzag::CollisionInput ins[2] = {i1, i2};
+    const auto res = zigzag::ZigZagDecoder().decode({ins, 2}, profiles, 2);
+    ++trials;
+    if (!res.packets[0].header_ok) continue;
+    if (res.packets[0].crc_ok) ++uncoded_ok;
+
+    // Re-derive the coded payload bits from ZigZag's (possibly imperfect)
+    // output and run Viterbi over them.
+    const Bits air = res.packets[0].air_bits;
+    if (air.size() < 48) continue;
+    phy::Scrambler scr(phy::scrambler_seed_for(res.packets[0].header.seq));
+    Bits body(air.begin() + 48, air.end());
+    const Bits descrambled = scr.apply(body);
+    Bits rx_coded(coded.size());
+    for (std::size_t i = 0; i < coded.size() && i < descrambled.size(); ++i)
+      rx_coded[i] = descrambled[i];
+    const Bits decoded = code.decode_hard(rx_coded);
+    if (decoded == info) ++coded_ok;
+  }
+
+  Table t({"pipeline", "packets recovered"});
+  t.add_row({"ZigZag alone (CRC-gated)", std::to_string(uncoded_ok) + "/" + std::to_string(trials)});
+  t.add_row({"ZigZag + convolutional code", std::to_string(coded_ok) + "/" + std::to_string(trials)});
+  t.print("Coding under ZigZag at 7.5 dB (paper §6a)");
+  std::printf("\nThe code converts residual ~1e-3 BER decodes into clean "
+              "packets — the paper's\njustification for the BER<1e-3 delivery "
+              "criterion (§5.1f).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// The paper's motivating scenario end to end: Alice and Bob cannot sense
+// each other and hammer the same AP. Compare the three receiver designs of
+// §5.1(e) on the identical traffic pattern.
+//
+//   $ ./hidden_terminal_demo
+#include <cstdio>
+
+#include "zz/common/rng.h"
+#include "zz/common/table.h"
+#include "zz/testbed/experiment.h"
+
+using namespace zz;
+
+int main() {
+  testbed::ExperimentConfig cfg;
+  cfg.packets_per_sender = 12;
+  cfg.payload_bytes = 200;
+
+  Table t({"receiver", "Alice loss", "Bob loss", "aggregate throughput"});
+  for (auto kind : {testbed::ReceiverKind::Current80211,
+                    testbed::ReceiverKind::CollisionFreeScheduler,
+                    testbed::ReceiverKind::ZigZag}) {
+    Rng rng(7);  // identical seed: identical traffic and channels
+    const auto r = testbed::run_pair(rng, kind, 11.0, 11.0, /*p_sense=*/0.0, cfg);
+    const char* name = kind == testbed::ReceiverKind::Current80211
+                           ? "current 802.11"
+                       : kind == testbed::ReceiverKind::CollisionFreeScheduler
+                           ? "collision-free scheduler"
+                           : "ZigZag";
+    t.add_row({name, Table::pct(r.flows[0].loss_rate(), 1),
+               Table::pct(r.flows[1].loss_rate(), 1),
+               Table::num(r.total_throughput(), 3)});
+  }
+  t.print("Hidden terminals: Alice & Bob at 11 dB, no carrier sense");
+  std::printf("\n802.11 loses nearly everything to repeated collisions; the\n"
+              "scheduler survives by serializing; ZigZag decodes the "
+              "collisions themselves.\n");
+  return 0;
+}

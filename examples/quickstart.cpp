@@ -1,0 +1,108 @@
+// Quickstart: build two packets, collide them twice at different offsets
+// (the hidden-terminal pattern of Fig 1-2), and ZigZag-decode both.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API: transmitter, channel, collision
+// synthesis, detection, and the ZigZag decoder.
+#include <cstdio>
+
+#include "zz/chan/channel.h"
+#include "zz/common/mathutil.h"
+#include "zz/common/rng.h"
+#include "zz/emu/collision.h"
+#include "zz/phy/receiver.h"
+#include "zz/phy/transmitter.h"
+#include "zz/zigzag/decoder.h"
+
+using namespace zz;
+
+int main() {
+  Rng rng(2008);
+
+  // --- Two senders build packets ------------------------------------------
+  phy::FrameHeader ha;
+  ha.sender_id = 1;
+  ha.seq = 1;
+  ha.payload_bytes = 400;
+  const phy::TxFrame alice = phy::build_frame(ha, rng.bytes(400));
+
+  phy::FrameHeader hb = ha;
+  hb.sender_id = 2;
+  const phy::TxFrame bob = phy::build_frame(hb, rng.bytes(400));
+
+  // --- Each traverses its own impaired channel -----------------------------
+  chan::ImpairmentConfig icfg;
+  icfg.snr_db = 10.0;  // both at 10 dB: no capture possible, SIR = 0 dB
+  const auto ch_a = chan::random_channel(rng, icfg);
+  const auto ch_b = chan::random_channel(rng, icfg);
+
+  // --- They collide twice, jittered differently (802.11 retransmissions) ---
+  const auto c1 = emu::CollisionBuilder()
+                      .add(alice, ch_a, 0)
+                      .add(bob, ch_b, 240)  // Δ1 = 240 samples
+                      .build(rng);
+  const auto c2 = emu::CollisionBuilder()
+                      .add(phy::with_retry(alice, true),
+                           chan::retransmission_channel(rng, ch_a), 0)
+                      .add(phy::with_retry(bob, true),
+                           chan::retransmission_channel(rng, ch_b), 700)
+                      .build(rng);  // Δ2 = 700: different offset = decodable
+
+  // --- The AP knows its clients from association ----------------------------
+  phy::SenderProfile prof_a, prof_b;
+  prof_a.id = 1;
+  prof_a.freq_offset = ch_a.freq_offset;  // coarse estimate from association
+  prof_a.isi = ch_a.isi;
+  prof_a.equalizer = ch_a.isi.inverse(7, 3);
+  prof_a.snr_db = 10.0;
+  prof_b = prof_a;
+  prof_b.id = 2;
+  prof_b.freq_offset = ch_b.freq_offset;
+  prof_b.isi = ch_b.isi;
+  prof_b.equalizer = ch_b.isi.inverse(7, 3);
+  const std::vector<phy::SenderProfile> profiles{prof_a, prof_b};
+
+  // --- Estimate each copy's channel from its preamble correlation ----------
+  auto detect = [&](const emu::Reception& rec, int truth_idx, int prof_idx) {
+    const auto pe = phy::estimate_at_peak(
+        rec.samples, static_cast<std::size_t>(rec.truth[truth_idx].start),
+        profiles[prof_idx].freq_offset);
+    zigzag::Detection d;
+    d.origin = pe.origin;
+    d.mu = pe.mu;
+    d.h = pe.h;
+    d.freq_offset = profiles[prof_idx].freq_offset;
+    d.metric = pe.metric;
+    d.profile_index = prof_idx;
+    return d;
+  };
+
+  zigzag::CollisionInput in1, in2;
+  in1.samples = &c1.samples;
+  in1.placements = {{0, detect(c1, 0, 0)}, {1, detect(c1, 1, 1)}};
+  in2.samples = &c2.samples;
+  in2.is_retransmission = true;
+  in2.placements = {{0, detect(c2, 0, 0)}, {1, detect(c2, 1, 1)}};
+
+  // --- ZigZag decode --------------------------------------------------------
+  const zigzag::ZigZagDecoder decoder;
+  const zigzag::CollisionInput inputs[2] = {in1, in2};
+  const auto result = decoder.decode({inputs, 2}, profiles, 2);
+
+  std::printf("Decoded %zu chunks across the two collisions\n\n", result.chunks);
+  const phy::TxFrame* truths[2] = {&alice, &bob};
+  for (int i = 0; i < 2; ++i) {
+    const auto& p = result.packets[i];
+    const phy::TxFrame ref = truths[i]->header.retry == p.header.retry
+                                 ? *truths[i]
+                                 : phy::with_retry(*truths[i], p.header.retry);
+    std::printf("packet %d (sender %u): header=%s crc=%s BER=%.2e\n", i,
+                p.header.sender_id, p.header_ok ? "ok" : "FAIL",
+                p.crc_ok ? "ok" : "fail",
+                p.header_ok ? bit_error_rate(ref.air_bits(), p.air_bits) : 1.0);
+  }
+  std::printf("\nBoth packets recovered from two collisions that stock 802.11 "
+              "would have discarded.\n");
+  return 0;
+}

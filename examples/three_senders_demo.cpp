@@ -1,0 +1,52 @@
+// Beyond two interferers (§4.5, §5.7): three hidden senders resolved from
+// three collisions by the greedy chunk schedule of Fig 4-6.
+//
+//   $ ./three_senders_demo
+#include <cstdio>
+
+#include "zz/common/rng.h"
+#include "zz/common/table.h"
+#include "zz/testbed/experiment.h"
+#include "zz/zigzag/scheduler.h"
+
+using namespace zz;
+
+int main() {
+  // First, the abstract schedule on the Fig 4-6(a) pattern.
+  zigzag::Pattern pattern;
+  pattern.lengths = {100, 100, 100};
+  pattern.collisions = {{{0, 0}, {1, 20}, {2, 50}},
+                        {{0, 0}, {1, 60}, {2, 20}},
+                        {{0, 0}, {1, 40}, {2, 80}}};
+  const auto schedule = zigzag::greedy_schedule(pattern);
+  std::printf("Greedy schedule for Fig 4-6(a): %s in %zu chunks "
+              "(%zu rounds)\n\n",
+              schedule.complete ? "decodable" : "NOT decodable",
+              schedule.steps.size(), schedule.rounds);
+  std::printf("first decode steps:\n");
+  for (std::size_t i = 0; i < 6 && i < schedule.steps.size(); ++i) {
+    const auto& st = schedule.steps[i];
+    std::printf("  chunk %zu: packet %zu symbols [%zu, %zu) from collision %zu\n",
+                i + 1, st.packet, st.k0, st.k1, st.collision);
+  }
+
+  // Then the full waveform experiment.
+  testbed::ExperimentConfig cfg;
+  cfg.packets_per_sender = 5;
+  cfg.payload_bytes = 200;
+  Rng rng(31);
+  const auto flows =
+      testbed::run_three_hidden(rng, testbed::ReceiverKind::ZigZag, 12.0, cfg);
+
+  Table t({"sender", "delivered", "loss", "throughput"});
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    t.add_row({std::to_string(i + 1),
+               std::to_string(flows[i].delivered) + "/" +
+                   std::to_string(flows[i].offered),
+               Table::pct(flows[i].loss_rate(), 1),
+               Table::num(flows[i].throughput, 3)});
+  t.print("\nThree hidden senders, joint decode over three collisions");
+  std::printf("\nEach sender gets a fair ~1/3 share — as if scheduled in "
+              "separate slots (§5.7).\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "zz/chan/channel.h"
+
+#include <cmath>
+
+#include "zz/common/mathutil.h"
+
+namespace zz::chan {
+namespace {
+
+// Half-band transmit pulse: Hann-windowed sinc stretched to the symbol
+// period (kSps samples). At integer multiples of kSps it is exactly zero —
+// zero ISI between symbols at perfect timing — and its spectrum stops at
+// half Nyquist, so the receiver can interpolate it at fractional delays with
+// negligible error.
+double pulse(double x, double hw_samples) {
+  if (std::abs(x) >= hw_samples) return 0.0;
+  return sinc(x / kSps) * 0.5 * (1.0 + std::cos(kPi * x / hw_samples));
+}
+
+// d/dx of the pulse (analytic), for timing-error sensitivity.
+double pulse_derivative(double x, double hw_samples) {
+  if (std::abs(x) >= hw_samples) return 0.0;
+  const double w = 0.5 * (1.0 + std::cos(kPi * x / hw_samples));
+  const double dw = -0.5 * (kPi / hw_samples) * std::sin(kPi * x / hw_samples);
+  const double u = x / kSps;
+  double s, ds;
+  if (std::abs(u) < 1e-8) {
+    s = 1.0;
+    ds = 0.0;
+  } else {
+    const double pu = kPi * u;
+    s = std::sin(pu) / pu;
+    ds = (std::cos(pu) * pu - std::sin(pu)) * kPi / (pu * pu) / kSps;
+  }
+  return ds * w + s * dw;
+}
+
+template <typename KernelFn>
+void render(CVec& buf, std::ptrdiff_t offset, const CVec& symbols,
+            const ChannelParams& p, double scale, std::size_t hw_symbols,
+            KernelFn&& kfn) {
+  if (symbols.empty()) return;
+  const double hw = static_cast<double>(hw_symbols) * kSps;
+  const CVec u = p.isi.is_identity() ? symbols : p.isi.apply(symbols);
+
+  // Accumulate band-limited contributions in packet-relative coordinates,
+  // then rotate/scale once per output sample.
+  const double span =
+      kSps * static_cast<double>(u.size()) + p.mu +
+      p.drift * kSps * static_cast<double>(u.size());
+  const auto rel_len = static_cast<std::size_t>(std::ceil(span + 2.0 * hw)) + 2;
+  CVec v(rel_len, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    // ZigZag renders sparse chunk images (zeros outside the chunk); skip
+    // silent symbols instead of spreading zeros through the kernel.
+    if (std::norm(u[k]) < 1e-24) continue;
+    const double tk = kSps * static_cast<double>(k) * (1.0 + p.drift) + p.mu;
+    const auto lo = static_cast<std::ptrdiff_t>(std::ceil(tk - hw));
+    const auto hi = static_cast<std::ptrdiff_t>(std::floor(tk + hw));
+    for (std::ptrdiff_t m = std::max<std::ptrdiff_t>(lo, 0); m <= hi; ++m) {
+      if (m >= static_cast<std::ptrdiff_t>(rel_len)) break;
+      v[static_cast<std::size_t>(m)] += u[k] * kfn(static_cast<double>(m) - tk, hw);
+    }
+  }
+
+  for (std::size_t m = 0; m < rel_len; ++m) {
+    if (std::norm(v[m]) < 1e-24) continue;
+    const std::ptrdiff_t out = offset + static_cast<std::ptrdiff_t>(m);
+    if (out < 0 || out >= static_cast<std::ptrdiff_t>(buf.size())) continue;
+    const double phi = kTwoPi * p.freq_offset * static_cast<double>(m);
+    buf[static_cast<std::size_t>(out)] +=
+        scale * p.h * v[m] * cplx{std::cos(phi), std::sin(phi)};
+  }
+}
+
+}  // namespace
+
+ChannelParams random_channel(Rng& rng, const ImpairmentConfig& cfg) {
+  ChannelParams p;
+  const double amp = std::sqrt(db_to_lin(cfg.snr_db));
+  p.h = cfg.random_phase ? amp * rng.unit_phasor() : cplx{amp, 0.0};
+  p.freq_offset = rng.uniform(-cfg.freq_offset_max, cfg.freq_offset_max);
+  p.mu = rng.uniform(-cfg.mu_max, cfg.mu_max);
+  p.drift = rng.uniform(-cfg.drift_max, cfg.drift_max);
+  if (cfg.enable_isi) {
+    // One pre-echo and one post-echo with random phases; main tap unity.
+    const cplx pre = cfg.isi_strength * 0.5 * rng.unit_phasor();
+    const cplx post = cfg.isi_strength * rng.unit_phasor();
+    p.isi = sig::Fir({pre, cplx{1.0, 0.0}, post}, 1);
+  }
+  return p;
+}
+
+ChannelParams retransmission_channel(Rng& rng, const ChannelParams& first,
+                                     double freq_jitter) {
+  ChannelParams p = first;
+  p.h = std::abs(first.h) * rng.unit_phasor();  // new carrier phase
+  if (freq_jitter > 0.0)
+    p.freq_offset += rng.uniform(-freq_jitter, freq_jitter);
+  p.mu = rng.uniform(-0.5, 0.5);  // resampled at an unrelated phase
+  return p;
+}
+
+void add_signal(CVec& buf, std::ptrdiff_t offset, const CVec& symbols,
+                const ChannelParams& p, double scale,
+                std::size_t interp_half_width) {
+  render(buf, offset, symbols, p, scale, interp_half_width,
+         [](double x, double hw) { return pulse(x, hw); });
+}
+
+void add_signal_derivative(CVec& buf, std::ptrdiff_t offset,
+                           const CVec& symbols, const ChannelParams& p,
+                           std::size_t interp_half_width) {
+  // d/dμ of pulse(m - tk) with tk = kSps·k(1+drift) + μ is -pulse'(m - tk).
+  render(buf, offset, symbols, p, -1.0, interp_half_width,
+         [](double x, double hw) { return pulse_derivative(x, hw); });
+}
+
+CVec clean_reception(Rng& rng, const CVec& symbols, const ChannelParams& p,
+                     std::size_t lead, std::size_t tail, double noise_power) {
+  const std::size_t len =
+      lead + static_cast<std::size_t>(kSps * static_cast<double>(symbols.size())) +
+      tail + 48;
+  CVec buf(len, cplx{0.0, 0.0});
+  add_signal(buf, static_cast<std::ptrdiff_t>(lead), symbols, p);
+  if (noise_power > 0.0)
+    for (auto& s : buf) s += rng.gaussian_c(noise_power);
+  return buf;
+}
+
+}  // namespace zz::chan

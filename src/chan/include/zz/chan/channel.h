@@ -1,0 +1,89 @@
+// The wireless channel model — the paper's Chapter 3 made executable.
+//
+//   y[n] = H · (h_isi * x̃)[n] · e^{j2π n δf T} + w[n]          (Eq. 3.1 + §3.1)
+//
+// where x̃ is the transmitted symbol stream resampled at the receiver's
+// sampling phase (fractional offset μ plus clock drift, §3.1.2), h_isi is a
+// short symbol-spaced inter-symbol-interference filter (§3.1.3), H = h·e^{jγ}
+// is the quasi-static flat-fading gain and w is AWGN.
+//
+// THE key property of this module: `add_signal()` is the one and only
+// definition of how symbols turn into received samples. The simulator calls
+// it with true parameters; ZigZag's reconstructor calls it with *estimated*
+// parameters when it re-encodes a decoded chunk (§4.2.3b). Subtraction
+// fidelity is then limited by estimation error — exactly as on real radios —
+// and never by model mismatch.
+#pragma once
+
+#include <cstddef>
+
+#include "zz/common/rng.h"
+#include "zz/common/types.h"
+#include "zz/signal/fir.h"
+#include "zz/signal/interp.h"
+
+namespace zz::chan {
+
+/// Samples per symbol. The paper's GNU Radio prototype runs 2 samples per
+/// symbol (§5.1c); so do we. The on-air pulse is then half-band, which is
+/// what makes fractional-delay reconstruction (§4.2.3b) accurate with the
+/// short windowed-sinc kernels the paper prescribes.
+inline constexpr double kSps = 2.0;
+
+/// Per-link channel parameters (true for the simulator, estimated for the
+/// receiver — same structure on both sides).
+struct ChannelParams {
+  cplx h{1.0, 0.0};        ///< complex gain (amplitude + phase at packet start)
+  double freq_offset = 0.0;  ///< carrier frequency offset, cycles per sample
+  double mu = 0.0;           ///< fractional sampling offset, samples
+  double drift = 0.0;        ///< sampling clock drift, samples per sample
+  sig::Fir isi;              ///< symbol-spaced ISI filter (identity if clean)
+};
+
+/// Impairment ranges used when drawing random channels.
+struct ImpairmentConfig {
+  double snr_db = 10.0;           ///< per-sender SNR at the AP (noise power = 1)
+  double freq_offset_max = 5e-3;  ///< |δf·T| upper bound (post coarse RF correction)
+  double mu_max = 0.5;            ///< |fractional sampling offset| bound
+  double drift_max = 2e-6;        ///< |clock drift| bound, samples/sample
+  bool enable_isi = true;
+  double isi_strength = 0.15;     ///< relative magnitude of the echo taps
+  bool random_phase = true;       ///< random carrier phase in H
+};
+
+/// Draw a random channel realization. |h| = sqrt(SNR) since the AWGN added
+/// by `CollisionBuilder` has unit power.
+ChannelParams random_channel(Rng& rng, const ImpairmentConfig& cfg);
+
+/// A retransmission of the same packet moments later: same |h|, same ISI,
+/// same δf up to oscillator jitter, new carrier phase, slightly moved μ.
+ChannelParams retransmission_channel(Rng& rng, const ChannelParams& first,
+                                     double freq_jitter = 0.0);
+
+/// Render `symbols` through `p` and accumulate into `buf`, with the packet's
+/// symbol k arriving at continuous buffer time `offset + kSps·k + p.mu
+/// (1+drift)`. `offset` is in samples. `scale` multiplies the contribution
+/// (scale = -1 subtracts — ZigZag's cancellation step). Contributions that
+/// fall outside `buf` are dropped.
+///
+/// `interp_half_width` is the windowed-sinc pulse half width in symbols
+/// (§4.2.3b: "about 8 symbols in the neighborhood").
+void add_signal(CVec& buf, std::ptrdiff_t offset, const CVec& symbols,
+                const ChannelParams& p, double scale = 1.0,
+                std::size_t interp_half_width = 8);
+
+/// Same as add_signal but renders the time-derivative of the signal with
+/// respect to the sampling offset μ. Used by the receiver's timing tracker:
+/// a residual sampling error δμ shows up as δμ · d(image)/dμ.
+void add_signal_derivative(CVec& buf, std::ptrdiff_t offset,
+                           const CVec& symbols, const ChannelParams& p,
+                           std::size_t interp_half_width = 8);
+
+/// Convenience: render a whole clean reception (signal + AWGN of unit power
+/// scaled by `noise_power`), with `lead` noise-only samples before the
+/// packet and `tail` after.
+CVec clean_reception(Rng& rng, const CVec& symbols, const ChannelParams& p,
+                     std::size_t lead = 64, std::size_t tail = 64,
+                     double noise_power = 1.0);
+
+}  // namespace zz::chan

@@ -1,0 +1,112 @@
+#include "zz/coding/convolutional.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+namespace zz::coding {
+namespace {
+
+constexpr int kStates = 1 << (ConvolutionalCode::kConstraint - 1);
+
+// Parity of the masked state+input register.
+inline unsigned parity(unsigned v) {
+  v ^= v >> 16;
+  v ^= v >> 8;
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return v & 1u;
+}
+
+// Output pair for (state, input). Register layout: input is the MSB of the
+// 7-bit window, state holds the previous 6 bits.
+inline void branch_outputs(int state, unsigned input, unsigned& o0,
+                           unsigned& o1) {
+  const unsigned reg = (input << 6) | static_cast<unsigned>(state);
+  o0 = parity(reg & ConvolutionalCode::kG0);
+  o1 = parity(reg & ConvolutionalCode::kG1);
+}
+
+inline int next_state(int state, unsigned input) {
+  return ((static_cast<unsigned>(state) >> 1) | (input << 5)) & (kStates - 1);
+}
+
+}  // namespace
+
+Bits ConvolutionalCode::encode(const Bits& data) const {
+  Bits padded = data;
+  for (int i = 0; i < kConstraint - 1; ++i) padded.push_back(0);  // flush
+
+  Bits out;
+  out.reserve(2 * padded.size());
+  int state = 0;
+  for (const auto bit : padded) {
+    unsigned o0, o1;
+    branch_outputs(state, bit & 1u, o0, o1);
+    out.push_back(static_cast<std::uint8_t>(o0));
+    out.push_back(static_cast<std::uint8_t>(o1));
+    state = next_state(state, bit & 1u);
+  }
+  return out;
+}
+
+Bits ConvolutionalCode::viterbi(const std::vector<double>& llr) const {
+  if (llr.size() % 2 != 0)
+    throw std::invalid_argument("viterbi: odd coded length");
+  const std::size_t steps = llr.size() / 2;
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> metric(kStates, kNegInf), next(kStates, kNegInf);
+  metric[0] = 0.0;  // encoder starts in state 0
+  std::vector<std::vector<std::uint8_t>> decisions(
+      steps, std::vector<std::uint8_t>(kStates, 0));
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    const double l0 = llr[2 * t];      // > 0 favours coded bit 0
+    const double l1 = llr[2 * t + 1];
+    for (int s = 0; s < kStates; ++s) {
+      if (metric[s] == kNegInf) continue;
+      for (unsigned input = 0; input < 2; ++input) {
+        unsigned o0, o1;
+        branch_outputs(s, input, o0, o1);
+        const double m = metric[s] + (o0 ? -l0 : l0) + (o1 ? -l1 : l1);
+        const int ns = next_state(s, input);
+        if (m > next[ns]) {
+          next[ns] = m;
+          decisions[t][ns] =
+              static_cast<std::uint8_t>((input << 6) | static_cast<unsigned>(s));
+        }
+      }
+    }
+    metric.swap(next);
+  }
+
+  // Terminated trellis: trace back from state 0.
+  int state = 0;
+  Bits reversed;
+  reversed.reserve(steps);
+  for (std::size_t t = steps; t > 0; --t) {
+    const std::uint8_t d = decisions[t - 1][state];
+    reversed.push_back(static_cast<std::uint8_t>((d >> 6) & 1u));
+    state = d & (kStates - 1);
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  reversed.resize(steps - (kConstraint - 1));  // strip the tail
+  return reversed;
+}
+
+Bits ConvolutionalCode::decode_hard(const Bits& coded) const {
+  std::vector<double> llr(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i)
+    llr[i] = coded[i] ? -1.0 : 1.0;
+  return viterbi(llr);
+}
+
+Bits ConvolutionalCode::decode_soft(const std::vector<double>& llrs) const {
+  return viterbi(llrs);
+}
+
+}  // namespace zz::coding

@@ -1,0 +1,41 @@
+#include "zz/common/crc32.h"
+
+#include <array>
+
+namespace zz {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected 802.3 polynomial
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::uint8_t byte) {
+  state_ = table()[(state_ ^ byte) & 0xffu] ^ (state_ >> 8);
+}
+
+void Crc32::update(const Bytes& data) {
+  for (auto b : data) update(b);
+}
+
+std::uint32_t crc32(const Bytes& data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace zz

@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3 polynomial), the frame check sequence 802.11 appends to
+// every MPDU. ZigZag relies on it twice: the standard decoder declares
+// failure when the checksum does not verify (§4.2, "decoding fails ... or
+// the decoded packet does not satisfy the checksum"), and decoded collision
+// chunks are only accepted into a packet once the reassembled frame checks.
+#pragma once
+
+#include <cstdint>
+
+#include "zz/common/types.h"
+
+namespace zz {
+
+/// CRC-32/IEEE over a byte buffer (reflected, init 0xFFFFFFFF, xorout
+/// 0xFFFFFFFF) — the 802.11 FCS.
+std::uint32_t crc32(const Bytes& data);
+
+/// Incremental CRC-32 for streaming use.
+class Crc32 {
+ public:
+  void update(std::uint8_t byte);
+  void update(const Bytes& data);
+  /// Finalized value; the object may keep accumulating afterwards.
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace zz

@@ -1,0 +1,59 @@
+// Small numeric helpers used across the PHY, channel and ZigZag modules.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "zz/common/types.h"
+
+namespace zz {
+
+/// Decibels → linear power ratio.
+inline double db_to_lin(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Linear power ratio → decibels.
+inline double lin_to_db(double lin) { return 10.0 * std::log10(lin); }
+
+/// Normalized sinc: sin(pi x) / (pi x), sinc(0) = 1. This is the
+/// interpolation kernel of §4.2.3(b): a band-limited signal sampled at the
+/// Nyquist rate can be reconstructed at any fractional offset with it.
+inline double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  const double px = kPi * x;
+  return std::sin(px) / px;
+}
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_phase(double phi) {
+  while (phi > kPi) phi -= kTwoPi;
+  while (phi <= -kPi) phi += kTwoPi;
+  return phi;
+}
+
+/// Mean power (mean |x|^2) of a sample stream.
+inline double mean_power(const CVec& x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& v : x) acc += std::norm(v);
+  return acc / static_cast<double>(x.size());
+}
+
+/// Energy (sum |x|^2) of a sample stream.
+inline double energy(const CVec& x) {
+  double acc = 0.0;
+  for (const auto& v : x) acc += std::norm(v);
+  return acc;
+}
+
+/// Hamming distance between two equal-length bit vectors; if lengths differ
+/// the extra tail of the longer one counts as errors.
+std::size_t hamming_distance(const Bits& a, const Bits& b);
+
+/// Bit error rate of `rx` against reference `tx`.
+inline double bit_error_rate(const Bits& tx, const Bits& rx) {
+  if (tx.empty()) return 0.0;
+  return static_cast<double>(hamming_distance(tx, rx)) /
+         static_cast<double>(tx.size());
+}
+
+}  // namespace zz

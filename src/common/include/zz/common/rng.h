@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the reproduction — payload bits, channel
+// gains, noise, backoff slots, topology placement — draws from a seeded
+// `Rng`, so each test and bench is exactly reproducible from its printed
+// seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "zz/common/types.h"
+
+namespace zz {
+
+/// Seeded pseudo-random source wrapping std::mt19937_64 with the handful of
+/// distributions the library needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed2008u) : eng_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(eng_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+
+  /// Standard normal variate.
+  double gaussian() { return normal_(eng_); }
+
+  /// Zero-mean circularly-symmetric complex Gaussian with total variance
+  /// `variance` (i.e. variance/2 per real dimension) — the AWGN model of
+  /// Eq. 3.1.
+  cplx gaussian_c(double variance);
+
+  /// A single fair bit.
+  std::uint8_t bit() { return static_cast<std::uint8_t>(eng_() & 1u); }
+
+  /// `n` fair bits.
+  Bits bits(std::size_t n);
+
+  /// `n` uniform random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Complex number of unit magnitude with uniform random phase — used for
+  /// channel gains and initial carrier phases.
+  cplx unit_phasor();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator (for per-node / per-run streams).
+  Rng fork();
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace zz

@@ -1,0 +1,51 @@
+// Statistics helpers for the evaluation harness: running moments, empirical
+// CDFs (Figs 5-5, 5-6, 5-8, 5-9 are all CDFs) and percentile queries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace zz {
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical CDF over a sample set. Mirrors the paper's presentation of
+/// testbed results as cumulative fractions of flows.
+class Cdf {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Fraction of samples <= x.
+  double fraction_below(double x) const;
+  /// p-th percentile, p in [0, 1], linear interpolation.
+  double percentile(double p) const;
+  /// Evenly spaced (value, cumulative fraction) points for printing a curve.
+  std::vector<std::pair<double, double>> curve(std::size_t points = 20) const;
+
+ private:
+  void sort() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace zz

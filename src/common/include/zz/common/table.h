@@ -1,0 +1,30 @@
+// Fixed-width console table printer used by the bench harness so each bench
+// prints rows shaped like the paper's tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zz {
+
+/// Accumulates rows of string cells and prints them with aligned columns,
+/// a header rule, and an optional title block.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render to stdout.
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zz

@@ -1,0 +1,34 @@
+// Core value types shared by every module in the ZigZag reproduction.
+//
+// The whole library operates on complex baseband samples, exactly as the
+// paper's Chapter 3 ("A Communication Primer") describes: a wireless signal
+// is a stream of discrete complex numbers, and the channel multiplies each
+// transmitted symbol by a complex gain and adds noise.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace zz {
+
+/// Complex baseband sample. Double precision keeps subtraction residuals in
+/// ZigZag's iterative cancellation loop far below the noise floor, so the
+/// algorithmic behaviour — not numerics — dominates every experiment.
+using cplx = std::complex<double>;
+
+/// A contiguous stream of complex baseband samples.
+using CVec = std::vector<cplx>;
+
+/// A packed-as-bytes bit stream, one bit per element (0 or 1). Keeping bits
+/// unpacked trades memory for clarity; packets here are ≤ 1500 B (12k bits).
+using Bits = std::vector<std::uint8_t>;
+
+/// Raw packet payload bytes.
+using Bytes = std::vector<std::uint8_t>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+}  // namespace zz

@@ -1,0 +1,31 @@
+#include "zz/common/rng.h"
+
+#include <cmath>
+
+namespace zz {
+
+cplx Rng::gaussian_c(double variance) {
+  const double sigma = std::sqrt(variance / 2.0);
+  return {sigma * gaussian(), sigma * gaussian()};
+}
+
+Bits Rng::bits(std::size_t n) {
+  Bits out(n);
+  for (auto& b : out) b = bit();
+  return out;
+}
+
+Bytes Rng::bytes(std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(eng_() & 0xffu);
+  return out;
+}
+
+cplx Rng::unit_phasor() {
+  const double phi = uniform(0.0, kTwoPi);
+  return {std::cos(phi), std::sin(phi)};
+}
+
+Rng Rng::fork() { return Rng(eng_()); }
+
+}  // namespace zz

@@ -1,0 +1,87 @@
+#include "zz/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "zz/common/mathutil.h"
+
+namespace zz {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Cdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Cdf::sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : samples_) acc += x;
+  return acc / static_cast<double>(samples_.size());
+}
+
+double Cdf::fraction_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  sort();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        static_cast<double>(i) / static_cast<double>(points - 1 ? points - 1 : 1);
+    out.emplace_back(percentile(p), p);
+  }
+  return out;
+}
+
+std::size_t hamming_distance(const Bits& a, const Bits& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t d = std::max(a.size(), b.size()) - n;
+  for (std::size_t i = 0; i < n; ++i) d += (a[i] != b[i]) ? 1u : 0u;
+  return d;
+}
+
+}  // namespace zz

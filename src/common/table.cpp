@@ -1,0 +1,57 @@
+#include "zz/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace zz {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * fraction);
+  return buf;
+}
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::cout << "| ";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      std::cout << cell << std::string(width[c] - cell.size(), ' ')
+                << (c + 1 < header_.size() ? " | " : " |");
+    }
+    std::cout << "\n";
+  };
+
+  if (!title.empty()) std::cout << "\n== " << title << " ==\n";
+  print_row(header_);
+  std::cout << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    std::cout << std::string(width[c] + 2, '-') << (c + 1 < header_.size() ? "+" : "|");
+  std::cout << "\n";
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+}  // namespace zz

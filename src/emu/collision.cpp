@@ -1,0 +1,55 @@
+#include "zz/emu/collision.h"
+
+#include <algorithm>
+
+namespace zz::emu {
+
+CollisionBuilder& CollisionBuilder::lead(std::size_t samples) {
+  lead_ = samples;
+  return *this;
+}
+
+CollisionBuilder& CollisionBuilder::tail(std::size_t samples) {
+  tail_ = samples;
+  return *this;
+}
+
+CollisionBuilder& CollisionBuilder::noise_power(double p) {
+  noise_power_ = p;
+  return *this;
+}
+
+CollisionBuilder& CollisionBuilder::add(phy::TxFrame frame,
+                                        chan::ChannelParams channel,
+                                        std::ptrdiff_t offset_symbols) {
+  entries_.push_back({std::move(frame), std::move(channel), offset_symbols});
+  return *this;
+}
+
+Reception CollisionBuilder::build(Rng& rng) const {
+  std::ptrdiff_t last_end = 0;
+  for (const auto& e : entries_)
+    last_end = std::max(
+        last_end,
+        e.offset + static_cast<std::ptrdiff_t>(
+                       chan::kSps * static_cast<double>(e.frame.symbols.size())));
+
+  Reception r;
+  r.lead = lead_;
+  r.noise_power = noise_power_;
+  const std::size_t len =
+      lead_ + static_cast<std::size_t>(std::max<std::ptrdiff_t>(last_end, 0)) +
+      tail_ + 48;
+  r.samples.assign(len, cplx{0.0, 0.0});
+
+  for (const auto& e : entries_) {
+    const std::ptrdiff_t start = static_cast<std::ptrdiff_t>(lead_) + e.offset;
+    chan::add_signal(r.samples, start, e.frame.symbols, e.channel);
+    r.truth.push_back({e.frame, e.channel, start});
+  }
+  if (noise_power_ > 0.0)
+    for (auto& s : r.samples) s += rng.gaussian_c(noise_power_);
+  return r;
+}
+
+}  // namespace zz::emu

@@ -1,0 +1,58 @@
+// Collision synthesis: overlays several transmissions, each through its own
+// channel, at arbitrary offsets — the signals the AP "logs" in §5.2.
+//
+//   y[n] = y_A[n] + y_B[n] + w[n]                      (Chapter 3)
+//
+// The builder also records ground truth (frames, channels, exact offsets) so
+// tests and benches can score decoders; receivers never look at it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "zz/chan/channel.h"
+#include "zz/phy/transmitter.h"
+
+namespace zz::emu {
+
+/// Ground truth for one transmission inside a reception (evaluation only).
+struct TxTruth {
+  phy::TxFrame frame;
+  chan::ChannelParams channel;
+  std::ptrdiff_t start = 0;  ///< integer sample index of symbol-0 arrival
+};
+
+/// One logged reception at the AP: samples plus (hidden) truth.
+struct Reception {
+  CVec samples;
+  double noise_power = 1.0;
+  std::size_t lead = 0;  ///< noise-only samples before the first packet
+  std::vector<TxTruth> truth;
+};
+
+/// Composes receptions. Offsets are relative to the end of the noise lead-in
+/// (i.e. offset 0 = first possible packet position).
+class CollisionBuilder {
+ public:
+  CollisionBuilder& lead(std::size_t samples);
+  CollisionBuilder& tail(std::size_t samples);
+  CollisionBuilder& noise_power(double p);
+  CollisionBuilder& add(phy::TxFrame frame, chan::ChannelParams channel,
+                        std::ptrdiff_t offset_symbols);
+
+  /// Render all transmissions plus AWGN.
+  Reception build(Rng& rng) const;
+
+ private:
+  std::size_t lead_ = 64;
+  std::size_t tail_ = 64;
+  double noise_power_ = 1.0;
+  struct Entry {
+    phy::TxFrame frame;
+    chan::ChannelParams channel;
+    std::ptrdiff_t offset;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace zz::emu

@@ -1,0 +1,31 @@
+// Slot-offset Monte Carlo for Fig 4-7: how often can the §4.5 greedy
+// algorithm decode n senders' repeated collisions?
+//
+// Every node picks a random backoff slot before each (re)transmission, so
+// each collision combines the same packets at fresh offsets. The greedy
+// chunk scheduler succeeds unless the offset patterns are degenerate
+// (Assertion 4.5.1); this module measures that failure probability.
+#pragma once
+
+#include <cstddef>
+
+#include "zz/common/rng.h"
+#include "zz/mac/timing.h"
+
+namespace zz::mac {
+
+struct OffsetSimConfig {
+  std::size_t packet_symbols = 120;  ///< abstract packet length
+  std::size_t slot_symbols = 10;     ///< 20 µs slot at 500 kb/s BPSK
+  bool exponential_backoff = false;  ///< Fig 4-7(b) vs fixed cw (a)
+  int cw = 31;                       ///< fixed congestion window for (a)
+  DcfTiming timing{};                ///< BEB parameters for (b)
+};
+
+/// Probability that the greedy algorithm FAILS to decode `nodes` colliding
+/// senders given `nodes` successive collisions, over `trials` draws.
+double greedy_failure_probability(Rng& rng, std::size_t nodes,
+                                  std::size_t trials,
+                                  const OffsetSimConfig& cfg = {});
+
+}  // namespace zz::mac

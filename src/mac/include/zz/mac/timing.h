@@ -1,0 +1,39 @@
+// 802.11 MAC timing: slots, interframe spaces, binary exponential backoff,
+// and the synchronous-ACK feasibility analysis of §4.4 / Lemma 4.4.1.
+#pragma once
+
+#include <cstdint>
+
+#include "zz/common/rng.h"
+
+namespace zz::mac {
+
+/// Timing constants. Defaults are the backward-compatible 802.11g values
+/// used in Appendix A: slot 20 µs, SIFS 10 µs, ACK 30 µs, CWmin 31,
+/// CWmax 1023.
+struct DcfTiming {
+  double slot_us = 20.0;
+  double sifs_us = 10.0;
+  double difs_us = 50.0;
+  double ack_us = 30.0;
+  int cw_min = 31;
+  int cw_max = 1023;
+  int retry_limit = 7;
+
+  /// Congestion window after `retries` consecutive failures (binary
+  /// exponential backoff, §4.5 footnote).
+  int cw_after(int retries) const;
+};
+
+/// Lemma 4.4.1's analytic lower bound on the probability that the offset
+/// between two colliding packets suffices to send a synchronous ACK:
+///   P >= 1 - (SIFS + ACK) / (S · 2·CW).
+double ack_offset_probability_bound(const DcfTiming& t = {});
+
+/// Monte-Carlo estimate of the same probability: both colliding senders
+/// draw a slot uniformly in [0, 2·CW] for the retransmission; the ACK fits
+/// when their offset exceeds SIFS + ACK.
+double ack_offset_probability_mc(Rng& rng, std::size_t trials = 200000,
+                                 const DcfTiming& t = {});
+
+}  // namespace zz::mac

@@ -1,0 +1,38 @@
+#include "zz/mac/offsets.h"
+
+#include <algorithm>
+
+#include "zz/zigzag/scheduler.h"
+
+namespace zz::mac {
+
+double greedy_failure_probability(Rng& rng, std::size_t nodes,
+                                  std::size_t trials,
+                                  const OffsetSimConfig& cfg) {
+  std::size_t failures = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    zigzag::Pattern pattern;
+    pattern.lengths.assign(nodes, cfg.packet_symbols);
+    // One collision per (re)transmission round; n unknowns need n equations.
+    for (std::size_t round = 0; round < nodes; ++round) {
+      const int cw = cfg.exponential_backoff
+                         ? cfg.timing.cw_after(static_cast<int>(round))
+                         : cfg.cw;
+      std::vector<zigzag::Pattern::Placement> coll(nodes);
+      std::ptrdiff_t min_off = 0;
+      for (std::size_t i = 0; i < nodes; ++i) {
+        const auto slot = rng.uniform_int(0, cw);
+        coll[i] = {i, static_cast<std::ptrdiff_t>(slot) *
+                          static_cast<std::ptrdiff_t>(cfg.slot_symbols)};
+        min_off = i == 0 ? coll[i].offset : std::min(min_off, coll[i].offset);
+      }
+      // The earliest transmission defines time zero for the collision.
+      for (auto& pl : coll) pl.offset -= min_off;
+      pattern.collisions.push_back(std::move(coll));
+    }
+    if (!zigzag::greedy_schedule(pattern).complete) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+}  // namespace zz::mac

@@ -1,0 +1,36 @@
+#include "zz/mac/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zz::mac {
+
+int DcfTiming::cw_after(int retries) const {
+  long long cw = cw_min;
+  for (int i = 0; i < retries; ++i) cw = std::min<long long>(2 * cw + 1, cw_max);
+  return static_cast<int>(cw);
+}
+
+double ack_offset_probability_bound(const DcfTiming& t) {
+  // Appendix A: the retransmission slots are drawn from a window of size
+  // 2·CW; Alice must avoid a stretch of ±(SIFS + ACK) around Bob's slot, so
+  // the offset is too small with probability at most
+  // 2·(SIFS + ACK) / (S · 2·CW). For 802.11g this gives P >= 0.9375.
+  const double window = t.slot_us * 2.0 * (t.cw_min + 1);
+  return 1.0 - 2.0 * (t.sifs_us + t.ack_us) / window;
+}
+
+double ack_offset_probability_mc(Rng& rng, std::size_t trials,
+                                 const DcfTiming& t) {
+  const int window_slots = 2 * (t.cw_min + 1);
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto a = rng.uniform_int(0, window_slots - 1);
+    const auto b = rng.uniform_int(0, window_slots - 1);
+    const double offset_us = std::abs(static_cast<double>(a - b)) * t.slot_us;
+    if (offset_us >= t.sifs_us + t.ack_us) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(trials);
+}
+
+}  // namespace zz::mac

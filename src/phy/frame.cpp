@@ -1,0 +1,98 @@
+#include "zz/phy/frame.h"
+
+#include <stdexcept>
+
+#include "zz/phy/preamble.h"
+
+namespace zz::phy {
+namespace {
+
+void put_bits(Bits& out, std::uint32_t value, int nbits) {
+  for (int b = 0; b < nbits; ++b)
+    out.push_back(static_cast<std::uint8_t>((value >> b) & 1u));
+}
+
+std::uint32_t get_bits(const Bits& in, std::size_t& pos, int nbits) {
+  std::uint32_t v = 0;
+  for (int b = 0; b < nbits; ++b, ++pos)
+    if (pos < in.size() && in[pos]) v |= 1u << b;
+  return v;
+}
+
+}  // namespace
+
+std::uint8_t crc8_bits(const Bits& bits) {
+  std::uint8_t crc = 0;
+  for (auto bit : bits) {
+    const std::uint8_t top = static_cast<std::uint8_t>((crc >> 7) & 1u);
+    crc = static_cast<std::uint8_t>(crc << 1);
+    if (top ^ (bit & 1u)) crc ^= 0x07u;
+  }
+  return crc;
+}
+
+Bits encode_header(const FrameHeader& h) {
+  Bits bits;
+  bits.reserve(kHeaderBits);
+  put_bits(bits, h.sender_id, 8);
+  put_bits(bits, h.seq, 16);
+  put_bits(bits, h.retry ? 1u : 0u, 1);
+  put_bits(bits, static_cast<std::uint32_t>(h.payload_mod), 2);
+  put_bits(bits, h.payload_bytes & 0x1fffu, 13);
+  put_bits(bits, crc8_bits(bits), 8);
+  return bits;
+}
+
+std::optional<FrameHeader> decode_header(const Bits& bits) {
+  if (bits.size() < kHeaderBits) return std::nullopt;
+  Bits body(bits.begin(), bits.begin() + 40);
+  std::size_t pos = 40;
+  const auto hcs = static_cast<std::uint8_t>(get_bits(bits, pos, 8));
+  if (crc8_bits(body) != hcs) return std::nullopt;
+
+  FrameHeader h;
+  pos = 0;
+  h.sender_id = static_cast<std::uint8_t>(get_bits(bits, pos, 8));
+  h.seq = static_cast<std::uint16_t>(get_bits(bits, pos, 16));
+  h.retry = get_bits(bits, pos, 1) != 0;
+  const auto mod = get_bits(bits, pos, 2);
+  if (mod > static_cast<std::uint32_t>(Modulation::QAM64)) return std::nullopt;
+  h.payload_mod = static_cast<Modulation>(mod);
+  h.payload_bytes = static_cast<std::uint16_t>(get_bits(bits, pos, 13));
+  return h;
+}
+
+std::size_t FrameLayout::retry_symbol() const {
+  // Header is BPSK: one bit per symbol; retry is bit 24 of the header.
+  return preamble_syms + 24;
+}
+
+FrameLayout layout_for(const FrameHeader& h) {
+  FrameLayout l;
+  l.preamble_syms = kPreambleLength;
+  l.header_syms = kHeaderBits;  // BPSK, 1 bit/symbol
+  l.body_bits = 8u * (static_cast<std::size_t>(h.payload_bytes) + 4u);
+  const int bps = bits_per_symbol(h.payload_mod);
+  l.body_syms = (l.body_bits + static_cast<std::size_t>(bps) - 1) /
+                static_cast<std::size_t>(bps);
+  l.total_syms = l.preamble_syms + l.header_syms + l.body_syms;
+  return l;
+}
+
+Bytes pack_bytes(const Bits& bits) {
+  Bytes out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  return out;
+}
+
+Bits unpack_bits(const Bytes& bytes) {
+  Bits out(bytes.size() * 8);
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    for (int b = 0; b < 8; ++b)
+      out[i * 8 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>((bytes[i] >> b) & 1u);
+  return out;
+}
+
+}  // namespace zz::phy

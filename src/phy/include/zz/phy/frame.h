@@ -1,0 +1,70 @@
+// 802.11-like frame format.
+//
+// Layout on air (in symbols):
+//   [ preamble : 32 BPSK symbols, known sequence                 ]
+//   [ header   : 48 bits, always BPSK (like the PLCP header)     ]
+//   [ body     : (payload ‖ CRC-32), scrambled, payload modulation ]
+//
+// Header fields (48 bits total, LSB-first within each field):
+//   sender_id : 8   — client address
+//   seq       : 16  — sequence number
+//   retry     : 1   — 802.11 retransmission flag; the single bit that
+//                     differs between two collisions of "the same" packet
+//                     (§4.2.2 notes the copies differ only in noise and
+//                     this flag)
+//   mod       : 2   — payload modulation (BPSK/QPSK/16/64-QAM)
+//   length    : 13  — payload bytes (0..8191)
+//   hcs       : 8   — CRC-8 over the previous 40 bits
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "zz/common/types.h"
+#include "zz/phy/modulation.h"
+
+namespace zz::phy {
+
+inline constexpr std::size_t kHeaderBits = 48;
+
+struct FrameHeader {
+  std::uint8_t sender_id = 0;
+  std::uint16_t seq = 0;
+  bool retry = false;
+  Modulation payload_mod = Modulation::BPSK;
+  std::uint16_t payload_bytes = 0;
+
+  bool operator==(const FrameHeader&) const = default;
+};
+
+/// CRC-8 (poly 0x07) over a bit vector; protects the header.
+std::uint8_t crc8_bits(const Bits& bits);
+
+/// Serialize a header to its 48 on-air bits (including HCS).
+Bits encode_header(const FrameHeader& h);
+
+/// Parse 48 header bits; empty optional if the HCS does not verify.
+std::optional<FrameHeader> decode_header(const Bits& bits);
+
+/// Static frame geometry for a given header.
+struct FrameLayout {
+  std::size_t preamble_syms = 0;  ///< always kPreambleLength
+  std::size_t header_syms = 0;    ///< kHeaderBits (BPSK)
+  std::size_t body_syms = 0;      ///< scrambled payload‖CRC32 symbols
+  std::size_t total_syms = 0;
+  std::size_t body_bits = 0;      ///< 8 * (payload_bytes + 4)
+
+  /// Symbol index where the body starts.
+  std::size_t body_begin() const { return preamble_syms + header_syms; }
+  /// Symbol index (within the frame) of the header's retry bit.
+  std::size_t retry_symbol() const;
+};
+
+FrameLayout layout_for(const FrameHeader& h);
+
+/// Bits → bytes helper (LSB-first per byte), used when reassembling payloads.
+Bytes pack_bytes(const Bits& bits);
+/// Bytes → bits helper (LSB-first per byte).
+Bits unpack_bits(const Bytes& bytes);
+
+}  // namespace zz::phy

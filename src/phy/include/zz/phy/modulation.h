@@ -1,0 +1,68 @@
+// Linear modulation schemes.
+//
+// The paper's prototype uses BPSK ("the modulation scheme that 802.11 uses
+// at low rates", §5.1b) but the design claim of §4.2.3(a) is modulation
+// independence: ZigZag treats the decoder as a black box, so any scheme
+// plugs in. We provide the gray-mapped constellations of 802.11a/g: BPSK,
+// QPSK, 16-QAM and 64-QAM, all normalized to unit average symbol energy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "zz/common/types.h"
+
+namespace zz::phy {
+
+enum class Modulation : std::uint8_t { BPSK = 0, QPSK = 1, QAM16 = 2, QAM64 = 3 };
+
+/// Human-readable name ("BPSK", ...).
+std::string to_string(Modulation m);
+
+/// Bits carried per symbol (1, 2, 4, 6).
+int bits_per_symbol(Modulation m);
+
+/// Bit <-> constellation mapping for one modulation scheme.
+class Modulator {
+ public:
+  explicit Modulator(Modulation m);
+
+  Modulation scheme() const { return scheme_; }
+  int bits_per_symbol() const { return bps_; }
+
+  /// Map a group of `bits_per_symbol()` bits (LSB-first in `value`) to a
+  /// constellation point.
+  cplx map(unsigned value) const { return points_[value & mask_]; }
+
+  /// Modulate a bit stream; the tail is zero-padded to a whole symbol.
+  CVec modulate(const Bits& bits) const;
+
+  /// Hard decision: nearest constellation point's bit group.
+  unsigned slice(cplx y) const;
+
+  /// Nearest constellation point itself (the "re-encode" step of §4.2.3b
+  /// starts from this noise-free point).
+  cplx nearest_point(cplx y) const { return points_[slice(y)]; }
+
+  /// Append the hard-decision bits of `y` to `out`, LSB-first.
+  void append_bits(cplx y, Bits& out) const;
+
+  /// Demodulate a symbol stream to bits (length = symbols * bps).
+  Bits demodulate(const CVec& symbols) const;
+
+  /// Per-bit log-likelihood ratios (max-log approximation), positive = bit 0.
+  /// `noise_var` is the complex noise variance at the slicer.
+  void soft_bits(cplx y, double noise_var, std::vector<double>& llrs) const;
+
+  /// Minimum distance between constellation points (error-decay analysis).
+  double min_distance() const;
+
+ private:
+  Modulation scheme_;
+  int bps_;
+  unsigned mask_;
+  std::vector<cplx> points_;
+};
+
+}  // namespace zz::phy

@@ -1,0 +1,37 @@
+// The known 802.11 preamble (§4.2.1).
+//
+// Every packet starts with a pseudo-random BPSK sequence known to all
+// receivers. Its two properties carry the whole collision detector: it is
+// independent of shifted versions of itself (sharp autocorrelation) and
+// independent of payload data (near-zero cross-correlation), so the sliding
+// correlation of §4.2.1 spikes exactly at packet starts.
+#pragma once
+
+#include <cstddef>
+
+#include "zz/common/types.h"
+
+namespace zz::phy {
+
+/// Length, in symbols, of the standard preamble used throughout the
+/// reproduction — the paper's prototype uses a 32-bit preamble (§5.1c).
+inline constexpr std::size_t kPreambleLength = 32;
+
+/// The shared pseudo-random ±1 preamble sequence of `len` symbols.
+/// Deterministic: every node and every test sees the same sequence.
+const CVec& preamble(std::size_t len = kPreambleLength);
+
+/// Peak autocorrelation sidelobe magnitude of the preamble (for tests and
+/// threshold calibration).
+double preamble_max_sidelobe(std::size_t len = kPreambleLength);
+
+/// The preamble as it appears on air: pulse-shaped at 2 samples/symbol
+/// through a unit channel, truncated to [0, 2·len) samples. This is the
+/// reference sequence the sliding correlator of §4.2.1 uses.
+const CVec& preamble_waveform(std::size_t len = kPreambleLength);
+
+/// Energy (Σ|s|²) of the preamble waveform — the Γ'(Δ) normalizer the AP
+/// divides by to read H off the correlation peak (§4.2.4a).
+double preamble_waveform_energy(std::size_t len = kPreambleLength);
+
+}  // namespace zz::phy

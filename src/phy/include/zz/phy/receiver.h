@@ -1,0 +1,104 @@
+// The standard 802.11 receiver.
+//
+// This object is the "Current 802.11" baseline of §5.1(e) *and* the source
+// of the primitives ZigZag composes: preamble detection by correlation,
+// channel estimation from the correlation peak (§4.2.4a), coarse frequency
+// offset "from association" (§4.2.4b), and the black-box chunk decoder.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "zz/common/types.h"
+#include "zz/phy/frame.h"
+#include "zz/phy/preamble.h"
+#include "zz/phy/modulation.h"
+#include "zz/phy/tracker.h"
+#include "zz/phy/transmitter.h"
+#include "zz/signal/fir.h"
+
+namespace zz::phy {
+
+/// Receiver-wide configuration.
+struct ReceiverConfig {
+  std::size_t preamble_len = kPreambleLength;
+  double detect_beta = 0.65;  ///< correlation threshold factor (§5.3a)
+  TrackingGains gains{};
+  std::size_t interp_half_width = 8;
+  std::size_t equalizer_len = 7;  ///< taps of the LS inverse-ISI filter
+};
+
+/// Stable per-client state the AP keeps from association (§4.2.1: "the AP
+/// can maintain coarse estimates of the frequency offsets of active clients
+/// as obtained at the time of association").
+struct SenderProfile {
+  std::uint8_t id = 0;
+  double freq_offset = 0.0;  ///< association-time δf̂ (cycles/sample)
+  sig::Fir isi;              ///< fitted symbol-spaced channel filter
+  sig::Fir equalizer;        ///< its LS inverse
+  double snr_db = 10.0;      ///< coarse received SNR
+  Modulation mod = Modulation::BPSK;
+};
+
+/// Channel parameters read off a preamble correlation peak.
+struct PreambleEstimate {
+  std::ptrdiff_t origin = 0;  ///< integer arrival position of symbol 0
+  double mu = 0.0;            ///< sub-sample offset (parabolic fit)
+  cplx h{0.0, 0.0};           ///< channel gain: Γ'(Δ) / Σ|s[k]|² (§4.2.4a)
+  double freq_offset = 0.0;   ///< refined: coarse + preamble phase slope
+  double metric = 0.0;        ///< |Γ'| at the peak
+};
+
+/// Result of a full-packet decode attempt.
+struct PacketDecode {
+  bool detected = false;
+  bool header_ok = false;
+  bool crc_ok = false;
+  FrameHeader header;
+  Bits air_bits;   ///< hard bits of header ‖ body as decoded (for BER)
+  Bytes payload;   ///< descrambled payload (valid when crc_ok)
+  CVec soft;       ///< per-symbol equalized estimates (header ‖ body)
+  LinkEstimate est;
+  std::ptrdiff_t origin = 0;
+};
+
+/// Mean power of the quietest stretch of the buffer — the receiver's noise
+/// floor estimate (receptions carry a noise-only lead-in).
+double estimate_noise_floor(const CVec& rx, std::size_t window = 32);
+
+/// Correlation-peak channel estimation at a known peak position.
+PreambleEstimate estimate_at_peak(const CVec& rx, std::size_t peak,
+                                  double coarse_freq,
+                                  std::size_t preamble_len = kPreambleLength);
+
+class StandardReceiver {
+ public:
+  explicit StandardReceiver(ReceiverConfig cfg = {});
+
+  const ReceiverConfig& config() const { return cfg_; }
+
+  /// Detect the strongest preamble and decode the packet as if it were
+  /// interference-free — exactly what a stock 802.11 receiver does (§4.2:
+  /// "when a ZigZag receiver detects a packet it tries to decode it,
+  /// assuming no collision, and using a typical decoder").
+  PacketDecode decode(const CVec& rx,
+                      const SenderProfile* profile = nullptr) const;
+
+  /// Decode with a known start position (used by capture/SIC paths).
+  PacketDecode decode_at(const CVec& rx, std::size_t peak,
+                         const SenderProfile* profile = nullptr) const;
+
+  /// Learn a sender's stable link parameters from one clean reception:
+  /// refined frequency offset, fitted ISI taps and their inverse, SNR.
+  SenderProfile associate(const CVec& clean_rx, std::uint8_t id) const;
+
+  /// Detection threshold for a sender at the given SNR (paper §5.3a:
+  /// β · L · sqrt(SNR) scaled by the noise floor amplitude).
+  double detection_threshold(double snr_linear, double noise_floor) const;
+
+ private:
+  ReceiverConfig cfg_;
+};
+
+}  // namespace zz::phy

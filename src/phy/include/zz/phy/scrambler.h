@@ -1,0 +1,37 @@
+// 802.11 data scrambler (x^7 + x^4 + 1 LFSR).
+//
+// Payload whitening matters to ZigZag: §4.2.1's detector and §4.2.2's
+// matcher both rely on data looking pseudo-random so that it decorrelates
+// from the preamble and from other packets' data. The standard's scrambler
+// provides exactly that.
+#pragma once
+
+#include <cstdint>
+
+#include "zz/common/types.h"
+
+namespace zz::phy {
+
+/// Self-synchronizing multiplicative scrambler as used by 802.11. The seed
+/// is the 7-bit initial LFSR state (non-zero).
+class Scrambler {
+ public:
+  explicit Scrambler(std::uint8_t seed = 0x7f);
+
+  /// Scramble (or descramble — the operation is an involution when applied
+  /// with the same starting state) a bit stream.
+  Bits apply(const Bits& in);
+
+  /// Reset to a new starting state.
+  void reset(std::uint8_t seed);
+
+ private:
+  std::uint8_t state_;
+};
+
+/// Deterministic per-frame scrambler seed derived from the frame sequence
+/// number (stands in for 802.11's SERVICE-field seed exchange; both ends
+/// can compute it).
+std::uint8_t scrambler_seed_for(std::uint16_t seq);
+
+}  // namespace zz::phy

@@ -1,0 +1,45 @@
+// The 802.11-like transmitter: payload bytes in, complex symbol stream out.
+//
+// The sender side is deliberately stock (§5.1d: "the network interface
+// pushes the packets to the GNU software blocks with no modifications") —
+// ZigZag is a pure receiver design. This transmitter exists so the
+// simulator and the ZigZag reconstructor share one definitive definition of
+// what a frame looks like on air.
+#pragma once
+
+#include "zz/common/types.h"
+#include "zz/phy/frame.h"
+#include "zz/phy/modulation.h"
+
+namespace zz::phy {
+
+/// A fully rendered frame: ground-truth bits and the on-air symbol stream.
+struct TxFrame {
+  FrameHeader header;
+  Bytes payload;          ///< original unscrambled payload (without CRC)
+  Bits body_bits;         ///< scrambled on-air body bits (payload ‖ CRC-32)
+  CVec symbols;           ///< preamble + header + body symbols
+  FrameLayout layout;
+
+  /// On-air bits of the whole frame after the preamble (header ‖ body) —
+  /// the reference stream for BER accounting.
+  Bits air_bits() const;
+};
+
+/// Build the on-air frame for a payload. The scrambler seed derives from
+/// `header.seq`, so receivers can descramble without side channels.
+TxFrame build_frame(const FrameHeader& header, const Bytes& payload);
+
+/// Re-render the symbols of one frame with a different retry flag — what a
+/// sender does when it retransmits. Only the retry header symbol (and the
+/// HCS symbols it participates in) change.
+TxFrame with_retry(const TxFrame& frame, bool retry);
+
+/// Validate a received, descrambled body (payload ‖ CRC-32): true iff the
+/// checksum verifies.
+bool body_crc_ok(const Bits& descrambled_body_bits);
+
+/// Extract the payload bytes from a descrambled, CRC-checked body.
+Bytes body_payload(const Bits& descrambled_body_bits);
+
+}  // namespace zz::phy

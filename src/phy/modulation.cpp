@@ -1,0 +1,147 @@
+#include "zz/phy/modulation.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace zz::phy {
+namespace {
+
+// Gray-coded PAM level for a bit pair/triple as used by 802.11a/g.
+// For 2 bits (16-QAM axis): 00->-3, 01->-1, 11->+1, 10->+3.
+double gray_pam4(unsigned b) {
+  static constexpr double lvl[4] = {-3.0, -1.0, +1.0, +3.0};
+  static constexpr unsigned order[4] = {0u, 1u, 3u, 2u};  // gray sequence
+  for (unsigned i = 0; i < 4; ++i)
+    if (order[i] == b) return lvl[i];
+  return 0.0;
+}
+
+// For 3 bits (64-QAM axis): gray sequence 000,001,011,010,110,111,101,100.
+double gray_pam8(unsigned b) {
+  static constexpr double lvl[8] = {-7.0, -5.0, -3.0, -1.0, +1.0, +3.0, +5.0, +7.0};
+  static constexpr unsigned order[8] = {0u, 1u, 3u, 2u, 6u, 7u, 5u, 4u};
+  for (unsigned i = 0; i < 8; ++i)
+    if (order[i] == b) return lvl[i];
+  return 0.0;
+}
+
+}  // namespace
+
+std::string to_string(Modulation m) {
+  switch (m) {
+    case Modulation::BPSK: return "BPSK";
+    case Modulation::QPSK: return "QPSK";
+    case Modulation::QAM16: return "16-QAM";
+    case Modulation::QAM64: return "64-QAM";
+  }
+  return "?";
+}
+
+int bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::BPSK: return 1;
+    case Modulation::QPSK: return 2;
+    case Modulation::QAM16: return 4;
+    case Modulation::QAM64: return 6;
+  }
+  return 1;
+}
+
+Modulator::Modulator(Modulation m)
+    : scheme_(m), bps_(phy::bits_per_symbol(m)), mask_((1u << bps_) - 1u) {
+  const auto n = static_cast<std::size_t>(1) << bps_;
+  points_.resize(n);
+  switch (m) {
+    case Modulation::BPSK:
+      points_[0] = {-1.0, 0.0};
+      points_[1] = {+1.0, 0.0};
+      break;
+    case Modulation::QPSK: {
+      const double a = 1.0 / std::sqrt(2.0);
+      for (unsigned v = 0; v < 4; ++v)
+        points_[v] = {(v & 1u) ? a : -a, (v & 2u) ? a : -a};
+      break;
+    }
+    case Modulation::QAM16: {
+      const double a = 1.0 / std::sqrt(10.0);
+      for (unsigned v = 0; v < 16; ++v)
+        points_[v] = {a * gray_pam4(v & 3u), a * gray_pam4((v >> 2) & 3u)};
+      break;
+    }
+    case Modulation::QAM64: {
+      const double a = 1.0 / std::sqrt(42.0);
+      for (unsigned v = 0; v < 64; ++v)
+        points_[v] = {a * gray_pam8(v & 7u), a * gray_pam8((v >> 3) & 7u)};
+      break;
+    }
+  }
+}
+
+CVec Modulator::modulate(const Bits& bits) const {
+  const std::size_t nsym = (bits.size() + bps_ - 1) / static_cast<std::size_t>(bps_);
+  CVec out(nsym);
+  for (std::size_t s = 0; s < nsym; ++s) {
+    unsigned v = 0;
+    for (int b = 0; b < bps_; ++b) {
+      const std::size_t idx = s * static_cast<std::size_t>(bps_) + static_cast<std::size_t>(b);
+      if (idx < bits.size() && bits[idx]) v |= 1u << b;
+    }
+    out[s] = points_[v];
+  }
+  return out;
+}
+
+unsigned Modulator::slice(cplx y) const {
+  unsigned best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (unsigned v = 0; v < points_.size(); ++v) {
+    const double d = std::norm(y - points_[v]);
+    if (d < best_d) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+void Modulator::append_bits(cplx y, Bits& out) const {
+  const unsigned v = slice(y);
+  for (int b = 0; b < bps_; ++b)
+    out.push_back(static_cast<std::uint8_t>((v >> b) & 1u));
+}
+
+Bits Modulator::demodulate(const CVec& symbols) const {
+  Bits out;
+  out.reserve(symbols.size() * static_cast<std::size_t>(bps_));
+  for (const auto& y : symbols) append_bits(y, out);
+  return out;
+}
+
+void Modulator::soft_bits(cplx y, double noise_var,
+                          std::vector<double>& llrs) const {
+  llrs.assign(static_cast<std::size_t>(bps_), 0.0);
+  const double inv = 1.0 / std::max(noise_var, 1e-12);
+  for (int b = 0; b < bps_; ++b) {
+    double d0 = std::numeric_limits<double>::max();
+    double d1 = std::numeric_limits<double>::max();
+    for (unsigned v = 0; v < points_.size(); ++v) {
+      const double d = std::norm(y - points_[v]);
+      if ((v >> b) & 1u)
+        d1 = std::min(d1, d);
+      else
+        d0 = std::min(d0, d);
+    }
+    llrs[static_cast<std::size_t>(b)] = (d1 - d0) * inv;  // >0 favours bit 0
+  }
+}
+
+double Modulator::min_distance() const {
+  double dmin = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    for (std::size_t j = i + 1; j < points_.size(); ++j)
+      dmin = std::min(dmin, std::abs(points_[i] - points_[j]));
+  return dmin;
+}
+
+}  // namespace zz::phy

@@ -1,0 +1,69 @@
+#include "zz/phy/preamble.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "zz/chan/channel.h"
+#include "zz/common/mathutil.h"
+#include "zz/common/rng.h"
+#include "zz/signal/correlate.h"
+
+namespace zz::phy {
+namespace {
+
+CVec make_preamble(std::size_t len) {
+  // Fixed seed: the preamble is part of the "standard", identical for every
+  // node, every run, every test.
+  Rng rng(0xbadc0ffee0ddf00dULL ^ len);
+  CVec p(len);
+  for (auto& s : p) s = rng.bit() ? cplx{1.0, 0.0} : cplx{-1.0, 0.0};
+  return p;
+}
+
+}  // namespace
+
+const CVec& preamble(std::size_t len) {
+  static std::mutex mu;
+  static std::map<std::size_t, CVec> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(len);
+  if (it == cache.end()) it = cache.emplace(len, make_preamble(len)).first;
+  return it->second;
+}
+
+const CVec& preamble_waveform(std::size_t len) {
+  static std::mutex mu;
+  static std::map<std::size_t, CVec> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(len);
+  if (it == cache.end()) {
+    // Render through a unit channel; keep the [0, kSps·len) window. The
+    // pulse tails that fall before symbol 0 are tiny and truncating them
+    // costs a fraction of a percent of correlation energy.
+    const std::size_t n = static_cast<std::size_t>(chan::kSps) * len;
+    CVec buf(n + 64, cplx{0.0, 0.0});
+    chan::add_signal(buf, 0, preamble(len), chan::ChannelParams{});
+    buf.resize(n);
+    it = cache.emplace(len, std::move(buf)).first;
+  }
+  return it->second;
+}
+
+double preamble_waveform_energy(std::size_t len) {
+  return energy(preamble_waveform(len));
+}
+
+double preamble_max_sidelobe(std::size_t len) {
+  const CVec& p = preamble(len);
+  double worst = 0.0;
+  for (std::size_t shift = 1; shift < len; ++shift) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k + shift < len; ++k)
+      acc += std::conj(p[k]) * p[k + shift];
+    worst = std::max(worst, std::abs(acc));
+  }
+  return worst;
+}
+
+}  // namespace zz::phy

@@ -1,0 +1,207 @@
+#include "zz/phy/receiver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "zz/common/mathutil.h"
+#include "zz/phy/preamble.h"
+#include "zz/phy/scrambler.h"
+#include "zz/signal/correlate.h"
+
+namespace zz::phy {
+
+double estimate_noise_floor(const CVec& rx, std::size_t window) {
+  if (rx.size() < window || window == 0) return mean_power(rx);
+  double best = std::numeric_limits<double>::max();
+  for (std::size_t start = 0; start + window <= rx.size(); start += window / 2) {
+    double p = 0.0;
+    for (std::size_t i = 0; i < window; ++i) p += std::norm(rx[start + i]);
+    best = std::min(best, p / static_cast<double>(window));
+  }
+  return best;
+}
+
+PreambleEstimate estimate_at_peak(const CVec& rx, std::size_t peak,
+                                  double coarse_freq,
+                                  std::size_t preamble_len) {
+  const CVec& ref = preamble_waveform(preamble_len);
+  const double eref = preamble_waveform_energy(preamble_len);
+  PreambleEstimate e;
+  e.origin = static_cast<std::ptrdiff_t>(peak);
+
+  const cplx g = sig::correlation_at(ref, rx, peak, coarse_freq);
+  e.metric = std::abs(g);
+  e.h = g / eref;  // Γ'(Δ) / Σ|s[k]|², §4.2.4(a)
+
+  // Sub-sample arrival from the shape of the correlation peak.
+  CVec local(3);
+  local[0] = peak > 0 ? sig::correlation_at(ref, rx, peak - 1, coarse_freq)
+                      : cplx{0.0, 0.0};
+  local[1] = g;
+  local[2] = sig::correlation_at(ref, rx, peak + 1, coarse_freq);
+  e.mu = sig::parabolic_peak_offset(local, 1);
+
+  // δf from the phase slope between the two preamble halves: each half
+  // correlates coherently; the inter-half phase step accrues over half the
+  // waveform length. (Unambiguous for |δf| < 1/(2·len) cycles/sample.)
+  const std::size_t half = ref.size() / 2;
+  const CVec first(ref.begin(), ref.begin() + static_cast<std::ptrdiff_t>(half));
+  const CVec second(ref.begin() + static_cast<std::ptrdiff_t>(half), ref.end());
+  const cplx g1 = sig::correlation_at(first, rx, peak, coarse_freq);
+  const cplx g2 = sig::correlation_at(second, rx, peak + half, coarse_freq);
+  if (std::abs(g1) > 1e-9 && std::abs(g2) > 1e-9) {
+    // Local compensation restarts per window, so the inter-window step
+    // reflects the *total* frequency offset, not the residual.
+    const double dphi = std::arg(g2 * std::conj(g1));
+    e.freq_offset = dphi / (kTwoPi * static_cast<double>(half));
+  } else {
+    e.freq_offset = coarse_freq;
+  }
+  return e;
+}
+
+StandardReceiver::StandardReceiver(ReceiverConfig cfg) : cfg_(std::move(cfg)) {}
+
+double StandardReceiver::detection_threshold(double snr_linear,
+                                             double noise_floor) const {
+  // |Γ'| at a true peak ≈ E_ref·|H| with E_ref the reference energy; β
+  // trades false positives against false negatives exactly as in §5.3(a).
+  return cfg_.detect_beta * preamble_waveform_energy(cfg_.preamble_len) *
+         std::sqrt(std::max(snr_linear, 1e-6) * std::max(noise_floor, 1e-12));
+}
+
+PacketDecode StandardReceiver::decode(const CVec& rx,
+                                      const SenderProfile* profile) const {
+  const double coarse = profile ? profile->freq_offset : 0.0;
+  const CVec corr =
+      sig::sliding_correlation(preamble_waveform(cfg_.preamble_len), rx, coarse);
+  if (corr.empty()) return {};
+
+  std::size_t peak = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < corr.size(); ++i) {
+    const double m = std::abs(corr[i]);
+    if (m > best) {
+      best = m;
+      peak = i;
+    }
+  }
+  const double noise = estimate_noise_floor(rx);
+  const double snr_hint = profile ? db_to_lin(profile->snr_db) : 1.0;
+  if (best < detection_threshold(snr_hint, noise)) return {};
+  return decode_at(rx, peak, profile);
+}
+
+PacketDecode StandardReceiver::decode_at(const CVec& rx, std::size_t peak,
+                                         const SenderProfile* profile) const {
+  PacketDecode out;
+  const double coarse = profile ? profile->freq_offset : 0.0;
+  const PreambleEstimate pe =
+      estimate_at_peak(rx, peak, coarse, cfg_.preamble_len);
+  out.detected = true;
+  out.origin = pe.origin;
+
+  LinkEstimate est;
+  est.params.h = pe.h;
+  // The association-time estimate (tracked over a whole clean packet) beats
+  // the preamble phase-slope when available; the decoder's own tracking
+  // absorbs whatever remains either way.
+  est.params.freq_offset = profile ? profile->freq_offset : pe.freq_offset;
+  est.params.mu = pe.mu;
+  est.params.drift = 0.0;
+  if (profile && !profile->isi.is_identity()) {
+    est.params.isi = profile->isi;
+    est.equalizer = profile->equalizer;
+  }
+  est.noise_var = estimate_noise_floor(rx);
+
+  const ChunkDecoder dec(cfg_.gains, cfg_.interp_half_width);
+  const std::size_t L = cfg_.preamble_len;
+
+  // Preamble symbols are pilots; header is BPSK.
+  std::vector<SymbolSpec> specs(L + kHeaderBits);
+  const CVec& pre = preamble(L);
+  for (std::size_t k = 0; k < L; ++k) specs[k] = {Modulation::BPSK, pre[k]};
+  for (std::size_t k = L; k < specs.size(); ++k)
+    specs[k] = {Modulation::BPSK, std::nullopt};
+
+  const auto head = dec.decode(rx, pe.origin, 0, L + kHeaderBits, specs, est);
+
+  const Modulator bpsk(Modulation::BPSK);
+  Bits header_bits;
+  header_bits.reserve(kHeaderBits);
+  for (std::size_t k = L; k < L + kHeaderBits; ++k)
+    bpsk.append_bits(head.soft[k], header_bits);
+
+  const auto header = decode_header(header_bits);
+  if (!header) {
+    out.est = est;
+    return out;
+  }
+  out.header_ok = true;
+  out.header = *header;
+
+  const FrameLayout layout = layout_for(*header);
+  const Modulator body_mod(header->payload_mod);
+  std::vector<SymbolSpec> body_specs(layout.body_syms,
+                                     {header->payload_mod, std::nullopt});
+  const auto body = dec.decode(rx, pe.origin, layout.body_begin(),
+                               layout.total_syms, body_specs, est);
+
+  out.air_bits = header_bits;
+  Bits body_bits;
+  body_bits.reserve(layout.body_bits);
+  for (const auto& s : body.soft) body_mod.append_bits(s, body_bits);
+  body_bits.resize(layout.body_bits);
+  out.air_bits.insert(out.air_bits.end(), body_bits.begin(), body_bits.end());
+
+  out.soft = head.soft;
+  out.soft.erase(out.soft.begin(),
+                 out.soft.begin() + static_cast<std::ptrdiff_t>(L));
+  out.soft.insert(out.soft.end(), body.soft.begin(), body.soft.end());
+
+  Scrambler scr(scrambler_seed_for(header->seq));
+  const Bits descrambled = scr.apply(body_bits);
+  if (body_crc_ok(descrambled)) {
+    out.crc_ok = true;
+    out.payload = body_payload(descrambled);
+  }
+  out.est = est;
+  return out;
+}
+
+SenderProfile StandardReceiver::associate(const CVec& clean_rx,
+                                          std::uint8_t id) const {
+  SenderProfile p;
+  p.id = id;
+
+  // First decode with no ISI knowledge (identity equalizer).
+  const PacketDecode d0 = decode(clean_rx, nullptr);
+  if (!d0.header_ok)
+    throw std::runtime_error("associate: could not decode association packet");
+  p.freq_offset = d0.est.params.freq_offset;
+  p.mod = d0.header.payload_mod;
+
+  const double noise = estimate_noise_floor(clean_rx);
+  p.snr_db = lin_to_db(std::max(std::norm(d0.est.params.h), 1e-12) /
+                       std::max(noise, 1e-12));
+
+  // Fit the symbol-spaced ISI channel: regress the raw (pre-equalizer)
+  // symbol estimates against the re-modulated decided symbols.
+  const TxFrame ref = build_frame(d0.header, d0.crc_ok ? d0.payload : Bytes(d0.header.payload_bytes, 0));
+  if (d0.crc_ok && ref.symbols.size() >= d0.soft.size()) {
+    const std::size_t L = cfg_.preamble_len;
+    CVec x(ref.symbols.begin() + static_cast<std::ptrdiff_t>(L),
+           ref.symbols.end());
+    CVec z = d0.soft;
+    const std::size_t n = std::min(x.size(), z.size());
+    x.resize(n);
+    z.resize(n);
+    p.isi = sig::fit_fir(x, z, 1, 1);
+    p.equalizer = p.isi.inverse(cfg_.equalizer_len, (cfg_.equalizer_len - 1) / 2);
+  }
+  return p;
+}
+
+}  // namespace zz::phy

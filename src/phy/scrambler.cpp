@@ -1,0 +1,28 @@
+#include "zz/phy/scrambler.h"
+
+namespace zz::phy {
+
+Scrambler::Scrambler(std::uint8_t seed) : state_(seed ? seed : 0x7f) {}
+
+void Scrambler::reset(std::uint8_t seed) { state_ = seed ? seed : 0x7f; }
+
+Bits Scrambler::apply(const Bits& in) {
+  Bits out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    // Feedback bit = x^7 XOR x^4 of the current state.
+    const std::uint8_t fb =
+        static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+    out[i] = static_cast<std::uint8_t>((in[i] ^ fb) & 1u);
+    state_ = static_cast<std::uint8_t>(((state_ << 1) | fb) & 0x7fu);
+  }
+  return out;
+}
+
+std::uint8_t scrambler_seed_for(std::uint16_t seq) {
+  // Any non-zero 7-bit function of seq works; both transmitter and receiver
+  // derive it from the header.
+  const std::uint8_t s = static_cast<std::uint8_t>((seq * 37u + 11u) & 0x7fu);
+  return s ? s : 0x5a;
+}
+
+}  // namespace zz::phy

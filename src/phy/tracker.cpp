@@ -1,0 +1,169 @@
+#include "zz/phy/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "zz/common/mathutil.h"
+
+namespace zz::phy {
+
+ChunkDecoder::ChunkDecoder(TrackingGains gains, std::size_t interp_half_width)
+    : gains_(gains), hw_(interp_half_width), interp_(interp_half_width) {}
+
+cplx ChunkDecoder::raw_symbol(const CVec& buf, std::ptrdiff_t origin, double k,
+                              const LinkEstimate& est) const {
+  const auto& p = est.params;
+  // Packet-relative sample time of symbol k (2 samples/symbol, §5.1c).
+  const double rel = chan::kSps * k * (1.0 + p.drift) + p.mu;
+  const double pos = static_cast<double>(origin) + rel;
+  const cplx raw = interp_.at(buf, pos);
+  const double phi = -kTwoPi * p.freq_offset * rel;
+  const cplx derot = raw * cplx{std::cos(phi), std::sin(phi)};
+  const cplx h = p.h;
+  const double hn = std::norm(h);
+  return hn > 1e-18 ? derot * std::conj(h) / hn : derot;
+}
+
+ChunkDecoder::Result ChunkDecoder::decode(const CVec& buf,
+                                          std::ptrdiff_t origin,
+                                          std::size_t k0, std::size_t k1,
+                                          std::span<const SymbolSpec> specs,
+                                          LinkEstimate& est,
+                                          bool backward) const {
+  if (k1 < k0) throw std::invalid_argument("ChunkDecoder: k1 < k0");
+  const std::size_t n = k1 - k0;
+  if (specs.size() < n)
+    throw std::invalid_argument("ChunkDecoder: specs shorter than range");
+
+  Result out;
+  out.soft.assign(n, cplx{});
+  out.decided.assign(n, cplx{});
+  if (n == 0) return out;
+
+  // Modulators are tiny; cache the ones this chunk needs.
+  const Modulator mods[4] = {Modulator(Modulation::BPSK),
+                             Modulator(Modulation::QPSK),
+                             Modulator(Modulation::QAM16),
+                             Modulator(Modulation::QAM64)};
+  auto mod_of = [&](std::size_t i) -> const Modulator& {
+    return mods[static_cast<std::size_t>(specs[i].mod)];
+  };
+
+  // Margin for the equalizer's non-causal taps: raw symbols just outside the
+  // chunk. The ZigZag scheduler guarantees those positions are clean.
+  const std::size_t guard =
+      std::max(est.equalizer.pre(), est.equalizer.post());
+
+  const std::size_t nblocks = (n + gains_.block - 1) / gains_.block;
+  double resid_acc = 0.0;
+  std::size_t resid_cnt = 0;
+
+  for (std::size_t bi = 0; bi < nblocks; ++bi) {
+    const std::size_t b = backward ? nblocks - 1 - bi : bi;
+    const std::size_t bk0 = k0 + b * gains_.block;
+    const std::size_t bk1 = std::min(k1, bk0 + gains_.block);
+    const std::size_t bn = bk1 - bk0;
+
+    // Two passes: measure errors with the current estimate, correct, and
+    // re-slice with the corrected estimate.
+    for (int pass = 0; pass < 2; ++pass) {
+      // Raw (pre-equalizer) symbols for the block plus equalizer margin.
+      const std::ptrdiff_t m0 = static_cast<std::ptrdiff_t>(bk0) -
+                                static_cast<std::ptrdiff_t>(guard);
+      const std::ptrdiff_t m1 =
+          static_cast<std::ptrdiff_t>(bk1) + static_cast<std::ptrdiff_t>(guard);
+      CVec z(static_cast<std::size_t>(m1 - m0));
+      for (std::ptrdiff_t m = m0; m < m1; ++m)
+        z[static_cast<std::size_t>(m - m0)] =
+            raw_symbol(buf, origin, static_cast<double>(m), est);
+
+      // Equalize and slice the block.
+      CVec zeq(bn), dec(bn);
+      for (std::size_t i = 0; i < bn; ++i) {
+        const std::size_t k = bk0 + i;
+        const cplx v = est.equalizer.at(
+            z, static_cast<std::ptrdiff_t>(k) - m0);
+        zeq[i] = v;
+        const auto& spec = specs[k - k0];
+        dec[i] = spec.pilot ? *spec.pilot
+                            : mod_of(k - k0).nearest_point(v);
+      }
+
+      if (pass == 1 || !gains_.enabled) {
+        // Final pass: emit and accumulate the noise estimate.
+        for (std::size_t i = 0; i < bn; ++i) {
+          out.soft[bk0 + i - k0] = zeq[i];
+          out.decided[bk0 + i - k0] = dec[i];
+          resid_acc += std::norm(zeq[i] - dec[i]);
+          ++resid_cnt;
+        }
+        break;
+      }
+
+      // --- Tracking (decision-directed, per block) ---
+      cplx corr{0.0, 0.0};
+      double dpow = 0.0;
+      for (std::size_t i = 0; i < bn; ++i) {
+        corr += zeq[i] * std::conj(dec[i]);
+        dpow += std::norm(dec[i]);
+      }
+      if (dpow < 1e-12) break;
+
+      const double phase_err = std::arg(corr);
+      const double amp_ratio = std::abs(corr) / dpow;
+
+      // Timing error via the derivative of the symbol waveform (a
+      // Mueller-and-Müller flavour, §4.2.4c footnote). Sampling early by δ
+      // (μ̂ < μ) leaves residual z - d ≈ -δ·s'(t_k), and for the half-band
+      // pulse s'(t_k) ∝ d[k+1] - d[k-1]; project the residual onto the
+      // slope to read -δ.
+      double terr_num = 0.0, terr_den = 0.0;
+      for (std::size_t i = 1; i + 1 < bn; ++i) {
+        const cplx slope = 0.5 * (dec[i + 1] - dec[i - 1]);
+        terr_num += std::real(std::conj(slope) * (zeq[i] - dec[i]));
+        terr_den += std::norm(slope);
+      }
+      const double timing_err = terr_den > 1e-9 ? -terr_num / terr_den : 0.0;
+
+#ifdef ZZ_TRACKER_DEBUG
+      std::fprintf(stderr,
+                   "blk %zu k0=%zu e_phi=%+.3f amp=%.3f e_t=%+.3f f=%+.5f "
+                   "mu=%+.3f argh=%+.3f\n",
+                   b, bk0, phase_err, amp_ratio, timing_err,
+                   est.params.freq_offset, est.params.mu,
+                   std::arg(est.params.h));
+#endif
+      // Apply the corrections.
+      auto& p = est.params;
+      const double dphi = gains_.phase * phase_err;
+      p.h *= cplx{std::cos(dphi), std::sin(dphi)};
+      const double damp = 1.0 + gains_.amplitude * (amp_ratio - 1.0);
+      p.h *= std::clamp(damp, 0.5, 2.0);
+      // Frequency: phase error accrued over one block of symbols
+      // (block·kSps samples). De-rotation is referenced to the packet
+      // start, so a frequency bump Δf would retroactively rotate the
+      // current position by 2π·Δf·rel — rotate ĥ to keep the phase
+      // continuous here and let the new slope act only going forward.
+      const double df =
+          gains_.freq * phase_err /
+          (kTwoPi * chan::kSps * static_cast<double>(gains_.block));
+      const double df_applied = backward ? -df : df;
+      p.freq_offset += df_applied;
+      const double rel_center =
+          chan::kSps * (static_cast<double>(bk0) +
+                        0.5 * static_cast<double>(bn)) *
+              (1.0 + p.drift) +
+          p.mu;
+      const double comp = -kTwoPi * df_applied * rel_center;
+      p.h *= cplx{std::cos(comp), std::sin(comp)};
+      p.mu += std::clamp(gains_.timing * timing_err, -0.1, 0.1);
+    }
+  }
+
+  out.noise_var = resid_cnt ? resid_acc / static_cast<double>(resid_cnt) : 0.0;
+  est.noise_var = 0.9 * est.noise_var + 0.1 * out.noise_var;
+  return out;
+}
+
+}  // namespace zz::phy

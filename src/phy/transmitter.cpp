@@ -1,0 +1,73 @@
+#include "zz/phy/transmitter.h"
+
+#include <stdexcept>
+
+#include "zz/common/crc32.h"
+#include "zz/phy/preamble.h"
+#include "zz/phy/scrambler.h"
+
+namespace zz::phy {
+
+Bits TxFrame::air_bits() const {
+  Bits out = encode_header(header);
+  out.insert(out.end(), body_bits.begin(), body_bits.end());
+  return out;
+}
+
+TxFrame build_frame(const FrameHeader& header, const Bytes& payload) {
+  if (payload.size() != header.payload_bytes)
+    throw std::invalid_argument("build_frame: payload size != header length");
+
+  TxFrame f;
+  f.header = header;
+  f.payload = payload;
+  f.layout = layout_for(header);
+
+  // Body = payload ‖ CRC-32, then scrambled.
+  Bytes body_bytes = payload;
+  const std::uint32_t fcs = crc32(payload);
+  for (int i = 0; i < 4; ++i)
+    body_bytes.push_back(static_cast<std::uint8_t>((fcs >> (8 * i)) & 0xffu));
+  Scrambler scr(scrambler_seed_for(header.seq));
+  f.body_bits = scr.apply(unpack_bits(body_bytes));
+
+  // Symbols: preamble (BPSK) + header (BPSK) + body (payload modulation).
+  const Modulator header_mod(Modulation::BPSK);
+  const Modulator body_mod(header.payload_mod);
+  const CVec& pre = preamble();
+  f.symbols.reserve(f.layout.total_syms);
+  f.symbols.insert(f.symbols.end(), pre.begin(), pre.end());
+  const CVec hdr_syms = header_mod.modulate(encode_header(header));
+  f.symbols.insert(f.symbols.end(), hdr_syms.begin(), hdr_syms.end());
+  const CVec body_syms = body_mod.modulate(f.body_bits);
+  f.symbols.insert(f.symbols.end(), body_syms.begin(), body_syms.end());
+  if (f.symbols.size() != f.layout.total_syms)
+    throw std::logic_error("build_frame: layout mismatch");
+  return f;
+}
+
+TxFrame with_retry(const TxFrame& frame, bool retry) {
+  if (frame.header.retry == retry) return frame;
+  FrameHeader h = frame.header;
+  h.retry = retry;
+  return build_frame(h, frame.payload);
+}
+
+bool body_crc_ok(const Bits& body_bits) {
+  if (body_bits.size() < 32 || body_bits.size() % 8 != 0) return false;
+  const Bytes bytes = pack_bytes(body_bits);
+  Bytes payload(bytes.begin(), bytes.end() - 4);
+  std::uint32_t fcs = 0;
+  for (int i = 0; i < 4; ++i)
+    fcs |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + static_cast<std::size_t>(i)])
+           << (8 * i);
+  return crc32(payload) == fcs;
+}
+
+Bytes body_payload(const Bits& body_bits) {
+  const Bytes bytes = pack_bytes(body_bits);
+  if (bytes.size() < 4) return {};
+  return Bytes(bytes.begin(), bytes.end() - 4);
+}
+
+}  // namespace zz::phy

@@ -1,0 +1,70 @@
+#include "zz/signal/correlate.h"
+
+#include <cmath>
+
+#include "zz/common/mathutil.h"
+
+namespace zz::sig {
+
+cplx correlation_at(const CVec& reference, const CVec& stream,
+                    std::size_t offset, double freq_offset_cps) {
+  cplx acc{0.0, 0.0};
+  for (std::size_t k = 0; k < reference.size(); ++k) {
+    const std::size_t idx = offset + k;
+    if (idx >= stream.size()) break;
+    cplx sample = stream[idx];
+    if (freq_offset_cps != 0.0) {
+      const double phi = -kTwoPi * freq_offset_cps * static_cast<double>(k);
+      sample *= cplx{std::cos(phi), std::sin(phi)};
+    }
+    acc += std::conj(reference[k]) * sample;
+  }
+  return acc;
+}
+
+CVec sliding_correlation(const CVec& reference, const CVec& stream,
+                         double freq_offset_cps) {
+  if (stream.size() < reference.size() || reference.empty()) return {};
+  const std::size_t positions = stream.size() - reference.size() + 1;
+  CVec out(positions);
+  for (std::size_t d = 0; d < positions; ++d)
+    out[d] = correlation_at(reference, stream, d, freq_offset_cps);
+  return out;
+}
+
+std::vector<std::size_t> find_peaks(const CVec& corr, double threshold,
+                                    std::size_t min_separation) {
+  std::vector<std::size_t> peaks;
+  for (std::size_t i = 0; i < corr.size(); ++i) {
+    const double m = std::abs(corr[i]);
+    if (m < threshold) continue;
+    // Local maximum within the separation guard.
+    bool is_max = true;
+    const std::size_t lo = i > min_separation ? i - min_separation : 0;
+    const std::size_t hi = std::min(corr.size() - 1, i + min_separation);
+    for (std::size_t j = lo; j <= hi && is_max; ++j)
+      if (std::abs(corr[j]) > m) is_max = false;
+    if (!is_max) continue;
+    if (!peaks.empty() && i - peaks.back() < min_separation) {
+      if (std::abs(corr[i]) > std::abs(corr[peaks.back()])) peaks.back() = i;
+      continue;
+    }
+    peaks.push_back(i);
+  }
+  return peaks;
+}
+
+double parabolic_peak_offset(const CVec& corr, std::size_t peak) {
+  if (peak == 0 || peak + 1 >= corr.size()) return 0.0;
+  const double ym = std::abs(corr[peak - 1]);
+  const double y0 = std::abs(corr[peak]);
+  const double yp = std::abs(corr[peak + 1]);
+  const double denom = ym - 2.0 * y0 + yp;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  double d = 0.5 * (ym - yp) / denom;
+  if (d > 0.5) d = 0.5;
+  if (d < -0.5) d = -0.5;
+  return d;
+}
+
+}  // namespace zz::sig

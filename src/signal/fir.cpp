@@ -1,0 +1,142 @@
+#include "zz/signal/fir.h"
+
+#include <stdexcept>
+
+namespace zz::sig {
+
+Fir::Fir(std::vector<cplx> taps, std::size_t pre)
+    : taps_(std::move(taps)), pre_(pre) {
+  if (taps_.empty()) throw std::invalid_argument("Fir: empty tap vector");
+  if (pre_ >= taps_.size())
+    throw std::invalid_argument("Fir: pre offset outside tap vector");
+}
+
+cplx Fir::at(const CVec& x, std::ptrdiff_t n) const {
+  cplx acc{0.0, 0.0};
+  const auto len = static_cast<std::ptrdiff_t>(taps_.size());
+  for (std::ptrdiff_t k = 0; k < len; ++k) {
+    const std::ptrdiff_t idx = n + static_cast<std::ptrdiff_t>(pre_) - k;
+    if (idx >= 0 && idx < static_cast<std::ptrdiff_t>(x.size()))
+      acc += taps_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(idx)];
+  }
+  return acc;
+}
+
+CVec Fir::apply(const CVec& x) const {
+  CVec y(x.size());
+  for (std::size_t n = 0; n < x.size(); ++n)
+    y[n] = at(x, static_cast<std::ptrdiff_t>(n));
+  return y;
+}
+
+bool Fir::is_identity() const {
+  return taps_.size() == 1 && pre_ == 0 &&
+         std::abs(taps_[0] - cplx{1.0, 0.0}) < 1e-12;
+}
+
+Fir Fir::inverse(std::size_t len, std::size_t inv_pre) const {
+  if (len == 0) throw std::invalid_argument("Fir::inverse: zero length");
+  // Solve the Toeplitz least-squares problem: find g minimizing
+  // || conv(g, h) - delta ||^2 over an output window generous enough to
+  // capture all of conv's support. Normal equations via direct Gaussian
+  // elimination (len is tiny — a handful of taps).
+  const std::size_t hl = taps_.size();
+  const std::size_t out_len = len + hl - 1;
+  // conv index mapping: conv[m] = sum_k g[k] h[m-k]; the delta target sits
+  // where the combined "pre" offsets align: m_delta = inv_pre + pre_.
+  const std::size_t m_delta = inv_pre + pre_;
+  if (m_delta >= out_len)
+    throw std::invalid_argument("Fir::inverse: inv_pre outside support");
+
+  // Build A (out_len x len): A[m][k] = h[m-k].
+  std::vector<std::vector<cplx>> a(out_len, std::vector<cplx>(len, cplx{}));
+  for (std::size_t m = 0; m < out_len; ++m)
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::ptrdiff_t hi = static_cast<std::ptrdiff_t>(m) -
+                                static_cast<std::ptrdiff_t>(k);
+      if (hi >= 0 && hi < static_cast<std::ptrdiff_t>(hl))
+        a[m][k] = taps_[static_cast<std::size_t>(hi)];
+    }
+
+  // Normal equations: (A^H A) g = A^H d where d = e_{m_delta}.
+  std::vector<std::vector<cplx>> ata(len, std::vector<cplx>(len, cplx{}));
+  std::vector<cplx> atd(len, cplx{});
+  for (std::size_t i = 0; i < len; ++i) {
+    for (std::size_t j = 0; j < len; ++j)
+      for (std::size_t m = 0; m < out_len; ++m)
+        ata[i][j] += std::conj(a[m][i]) * a[m][j];
+    atd[i] = std::conj(a[m_delta][i]);
+  }
+  // Tikhonov damping keeps the inverse stable when h is near-singular.
+  for (std::size_t i = 0; i < len; ++i) ata[i][i] += cplx{1e-9, 0.0};
+
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < len; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < len; ++r)
+      if (std::abs(ata[r][col]) > std::abs(ata[piv][col])) piv = r;
+    std::swap(ata[piv], ata[col]);
+    std::swap(atd[piv], atd[col]);
+    const cplx p = ata[col][col];
+    if (std::abs(p) < 1e-15)
+      throw std::runtime_error("Fir::inverse: singular system");
+    for (std::size_t r = 0; r < len; ++r) {
+      if (r == col) continue;
+      const cplx f = ata[r][col] / p;
+      for (std::size_t c = col; c < len; ++c) ata[r][c] -= f * ata[col][c];
+      atd[r] -= f * atd[col];
+    }
+  }
+  std::vector<cplx> g(len);
+  for (std::size_t i = 0; i < len; ++i) g[i] = atd[i] / ata[i][i];
+  return Fir(std::move(g), inv_pre);
+}
+
+Fir fit_fir(const CVec& x, const CVec& y, std::size_t pre, std::size_t post) {
+  const std::size_t len = pre + post + 1;
+  if (x.size() != y.size() || x.size() < len)
+    throw std::invalid_argument("fit_fir: bad input sizes");
+
+  // Normal equations over the interior where all regressors exist.
+  std::vector<std::vector<cplx>> ata(len, std::vector<cplx>(len, cplx{}));
+  std::vector<cplx> aty(len, cplx{});
+  const std::size_t n0 = post;                 // x[n - (-pre)] = x[n + pre]
+  const std::size_t n1 = x.size() - pre;
+  auto reg = [&](std::size_t n, std::size_t l) -> cplx {
+    // tap index l in [0, len) maps to lag (l - pre): y[n] ~ t_l x[n - (l-pre)]
+    const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(n) -
+                               (static_cast<std::ptrdiff_t>(l) -
+                                static_cast<std::ptrdiff_t>(pre));
+    return x[static_cast<std::size_t>(idx)];
+  };
+  for (std::size_t n = n0; n < n1; ++n) {
+    for (std::size_t i = 0; i < len; ++i) {
+      const cplx ri = reg(n, i);
+      aty[i] += std::conj(ri) * y[n];
+      for (std::size_t j = 0; j < len; ++j) ata[i][j] += std::conj(ri) * reg(n, j);
+    }
+  }
+  for (std::size_t i = 0; i < len; ++i) ata[i][i] += cplx{1e-9, 0.0};
+
+  // Gaussian elimination (len is tiny).
+  for (std::size_t col = 0; col < len; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < len; ++r)
+      if (std::abs(ata[r][col]) > std::abs(ata[piv][col])) piv = r;
+    std::swap(ata[piv], ata[col]);
+    std::swap(aty[piv], aty[col]);
+    const cplx p = ata[col][col];
+    if (std::abs(p) < 1e-15) throw std::runtime_error("fit_fir: singular");
+    for (std::size_t r = 0; r < len; ++r) {
+      if (r == col) continue;
+      const cplx f = ata[r][col] / p;
+      for (std::size_t c = col; c < len; ++c) ata[r][c] -= f * ata[col][c];
+      aty[r] -= f * aty[col];
+    }
+  }
+  std::vector<cplx> taps(len);
+  for (std::size_t i = 0; i < len; ++i) taps[i] = aty[i] / ata[i][i];
+  return Fir(std::move(taps), pre);
+}
+
+}  // namespace zz::sig

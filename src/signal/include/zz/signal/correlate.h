@@ -1,0 +1,38 @@
+// Sliding correlation — the workhorse of §4.2.1 ("Is It a Collision?") and
+// §4.2.2 ("Did the AP Receive Two Matching Collisions?").
+//
+// The AP slides the known preamble across the received stream; the
+// correlation magnitude is near zero everywhere except where the preamble
+// aligns with the start of a packet, because the preamble is pseudo-random
+// and independent of data and of shifted versions of itself.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "zz/common/types.h"
+
+namespace zz::sig {
+
+/// Γ(Δ) = Σ_k s*[k] · y[k+Δ] for every alignment Δ, optionally after
+/// de-rotating y by a frequency offset hypothesis (the paper's Γ'):
+/// Γ'(Δ) = Σ_k s*[k] · y[k+Δ] · e^{-j2πk·δf·T}.
+CVec sliding_correlation(const CVec& reference, const CVec& stream,
+                         double freq_offset_cycles_per_sample = 0.0);
+
+/// One correlation value at a single alignment.
+cplx correlation_at(const CVec& reference, const CVec& stream,
+                    std::size_t offset,
+                    double freq_offset_cycles_per_sample = 0.0);
+
+/// Positions where |corr| exceeds `threshold`, keeping only local maxima
+/// within a guard of `min_separation` samples (a collision detector must
+/// not report the same packet start twice).
+std::vector<std::size_t> find_peaks(const CVec& corr, double threshold,
+                                    std::size_t min_separation);
+
+/// Sub-sample peak refinement: fits a parabola to |corr| at (p-1, p, p+1)
+/// and returns the fractional offset of the true maximum in (-0.5, 0.5).
+double parabolic_peak_offset(const CVec& corr, std::size_t peak);
+
+}  // namespace zz::sig

@@ -1,0 +1,55 @@
+// Finite impulse response filtering over complex sample streams.
+//
+// Two places in the paper need FIR machinery: the symbol-spaced ISI channel
+// of §3.1.3 / §4.2.4(d) (`x[i] = sum_l h_l x_isi[i+l]`), and its inverse —
+// the equalizer the black-box decoder uses, which ZigZag inverts when it
+// re-encodes a chunk so the reconstructed image carries the same distortion
+// as the received signal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "zz/common/types.h"
+
+namespace zz::sig {
+
+/// A (possibly non-causal) complex FIR filter. Taps are indexed from
+/// `-pre` to `taps.size()-1-pre`: output[n] = sum_k taps[k] * x[n + pre - k].
+/// With pre == 0 this is an ordinary causal convolution.
+class Fir {
+ public:
+  Fir() : taps_{cplx{1.0, 0.0}}, pre_(0) {}
+  explicit Fir(std::vector<cplx> taps, std::size_t pre = 0);
+
+  const std::vector<cplx>& taps() const { return taps_; }
+  std::size_t pre() const { return pre_; }
+  /// Number of taps after the centre (inclusive span is [-pre, post]).
+  std::size_t post() const { return taps_.size() - 1 - pre_; }
+
+  /// Filter the whole stream; output has the same length as the input
+  /// (edges see implicit zeros).
+  CVec apply(const CVec& x) const;
+
+  /// Single output sample at position n (implicit zeros outside x).
+  cplx at(const CVec& x, std::ptrdiff_t n) const;
+
+  /// True if this filter is the identity (single unit tap, no offset).
+  bool is_identity() const;
+
+  /// Least-squares FIR inverse with `len` taps centred at `inv_pre`.
+  /// Solves min ||g * h - delta||^2 over a support window; used by ZigZag to
+  /// undo the decoder's equalizer when reconstructing a chunk (§4.2.4d).
+  Fir inverse(std::size_t len, std::size_t inv_pre) const;
+
+ private:
+  std::vector<cplx> taps_;
+  std::size_t pre_;
+};
+
+/// Least-squares fit of a FIR channel: finds taps t (span [-pre, post])
+/// minimizing sum_n |y[n] - sum_l t_l x[n-l]|^2. Used at association time to
+/// learn a sender's ISI profile from a cleanly decoded packet (§4.2.4d).
+Fir fit_fir(const CVec& x, const CVec& y, std::size_t pre, std::size_t post);
+
+}  // namespace zz::sig

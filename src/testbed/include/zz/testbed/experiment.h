@@ -1,0 +1,79 @@
+// Pairwise flow experiments (§5.2, §5.5–§5.7): two (or three) saturated
+// senders push packets to an AP under one of the three compared receiver
+// designs, with carrier sensing emulated per the pair's topology class.
+//
+// Every reception is materialized as waveforms and decoded by the real PHY
+// — collisions included — mirroring the paper's log-and-decode-offline
+// methodology. Delivery follows §5.1(f): a packet counts when its uncoded
+// BER is below 1e-3.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "zz/common/rng.h"
+#include "zz/mac/timing.h"
+#include "zz/phy/modulation.h"
+
+namespace zz::testbed {
+
+/// The compared receiver designs of §5.1(e).
+enum class ReceiverKind { Current80211, ZigZag, CollisionFreeScheduler };
+
+struct ExperimentConfig {
+  ExperimentConfig() { timing.cw_max = 127; }
+
+  std::size_t packets_per_sender = 30;
+  /// 300 B keeps runs fast while preserving the paper's key geometry: the
+  /// packet (≈5000 samples) outlasts the maximum backoff window
+  /// (CWmax·slot ≈ 2540 samples), so hidden terminals cannot escape each
+  /// other through backoff — just like 1500 B packets against CWmax 1023
+  /// at 500 kb/s.
+  std::size_t payload_bytes = 300;
+  phy::Modulation mod = phy::Modulation::BPSK;
+  mac::DcfTiming timing{};
+  std::size_t slot_samples = 20;  ///< one 20 µs slot at 500 kb/s, 2 sps
+  double freq_jitter = 2e-5;      ///< oscillator wander since association
+  double ber_threshold = 1e-3;    ///< §5.1(f) delivery criterion
+};
+
+/// Per-sender outcome of one experiment run.
+struct FlowStats {
+  std::size_t offered = 0;
+  std::size_t delivered = 0;
+  double throughput = 0.0;  ///< delivered / total airtime rounds
+
+  double loss_rate() const {
+    return offered ? 1.0 - static_cast<double>(delivered) /
+                               static_cast<double>(offered)
+                   : 0.0;
+  }
+};
+
+struct PairStats {
+  FlowStats flows[2];
+  std::size_t airtime_rounds = 0;
+  /// Throughput measured while BOTH senders are backlogged — the regime
+  /// Fig 5-4 and §5.6 report. Once one sender drains, the other's solo
+  /// tail would otherwise dilute the contention story.
+  double concurrent_throughput[2] = {0.0, 0.0};
+  std::size_t concurrent_rounds = 0;
+
+  double total_throughput() const {
+    return concurrent_throughput[0] + concurrent_throughput[1];
+  }
+};
+
+/// Run one sender-pair experiment. `p_sense` is the probability the two
+/// senders detect each other's transmissions (1 = full carrier sense,
+/// 0 = perfect hidden terminals, between = partial).
+PairStats run_pair(Rng& rng, ReceiverKind kind, double snr_a_db,
+                   double snr_b_db, double p_sense,
+                   const ExperimentConfig& cfg = {});
+
+/// Three hidden senders to one AP (§5.7). Returns one FlowStats per sender.
+std::vector<FlowStats> run_three_hidden(Rng& rng, ReceiverKind kind,
+                                        double snr_db,
+                                        const ExperimentConfig& cfg = {});
+
+}  // namespace zz::testbed

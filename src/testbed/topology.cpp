@@ -1,0 +1,69 @@
+#include "zz/testbed/topology.h"
+
+#include <cmath>
+
+#include "zz/common/mathutil.h"
+
+namespace zz::testbed {
+
+Topology::Topology(Rng& rng, TopologyConfig cfg) : cfg_(cfg) {
+  x_.resize(cfg_.nodes);
+  y_.resize(cfg_.nodes);
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    x_[i] = rng.uniform(0.0, cfg_.arena_m);
+    y_[i] = rng.uniform(0.0, cfg_.arena_m);
+  }
+}
+
+double Topology::snr_db(std::size_t a, std::size_t b) const {
+  const double dx = x_[a] - x_[b];
+  const double dy = y_[a] - y_[b];
+  const double d = std::max(std::sqrt(dx * dx + dy * dy), 1.0);
+  return cfg_.ref_snr_db - 10.0 * cfg_.path_loss_exp * std::log10(d);
+}
+
+Sensing Topology::sensing(std::size_t a, std::size_t b) const {
+  const double s = snr_db(a, b);
+  if (s >= cfg_.sense_snr_db + cfg_.partial_band_db) return Sensing::Full;
+  if (s >= cfg_.sense_snr_db - cfg_.partial_band_db) return Sensing::Partial;
+  return Sensing::Hidden;
+}
+
+bool Topology::usable(std::size_t tx, std::size_t rx) const {
+  return tx != rx && snr_db(tx, rx) >= cfg_.min_link_snr_db;
+}
+
+Topology::Mix Topology::sensing_mix() const {
+  Mix m;
+  std::size_t total = 0;
+  for (const auto& pc : viable_pairs()) {
+    ++total;
+    switch (sensing(pc.s1, pc.s2)) {
+      case Sensing::Hidden: m.hidden += 1; break;
+      case Sensing::Partial: m.partial += 1; break;
+      case Sensing::Full: m.full += 1; break;
+    }
+  }
+  if (total) {
+    m.hidden /= static_cast<double>(total);
+    m.partial /= static_cast<double>(total);
+    m.full /= static_cast<double>(total);
+  }
+  return m;
+}
+
+std::vector<Topology::PairChoice> Topology::viable_pairs() const {
+  std::vector<PairChoice> out;
+  for (std::size_t s1 = 0; s1 < size(); ++s1)
+    for (std::size_t s2 = s1 + 1; s2 < size(); ++s2)
+      for (std::size_t ap = 0; ap < size(); ++ap) {
+        if (ap == s1 || ap == s2) continue;
+        if (usable(s1, ap) && usable(s2, ap)) {
+          out.push_back({s1, s2, ap});
+          break;  // one AP per sender pair keeps the sample balanced
+        }
+      }
+  return out;
+}
+
+}  // namespace zz::testbed

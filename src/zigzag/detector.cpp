@@ -1,0 +1,96 @@
+#include "zz/zigzag/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "zz/common/mathutil.h"
+#include "zz/phy/preamble.h"
+#include "zz/signal/correlate.h"
+
+namespace zz::zigzag {
+
+CollisionDetector::CollisionDetector(DetectorConfig cfg) : cfg_(cfg) {}
+
+double CollisionDetector::threshold(double snr_linear,
+                                    double noise_floor) const {
+  return cfg_.beta * phy::preamble_waveform_energy(cfg_.preamble_len) *
+         std::sqrt(std::max(snr_linear, 1e-6) * std::max(noise_floor, 1e-12));
+}
+
+std::vector<double> CollisionDetector::correlation_profile(
+    const CVec& rx, double coarse_freq) const {
+  const CVec corr = sig::sliding_correlation(
+      phy::preamble_waveform(cfg_.preamble_len), rx, coarse_freq);
+  std::vector<double> mag(corr.size());
+  for (std::size_t i = 0; i < corr.size(); ++i) mag[i] = std::abs(corr[i]);
+  return mag;
+}
+
+std::vector<Detection> CollisionDetector::detect(
+    const CVec& rx, std::span<const phy::SenderProfile> profiles) const {
+  const double noise = phy::estimate_noise_floor(rx);
+  std::vector<Detection> out;
+
+  // The preamble is common to all clients; hypotheses differ only in the
+  // frequency compensation. Find candidate starts under every hypothesis,
+  // then resolve each position's client by comparing the *measured*
+  // preamble phase slope against the clients' association-time offsets —
+  // the correlation magnitude alone barely discriminates, and a wrong
+  // client assignment would seed the decoder with the wrong δf̂.
+  std::vector<std::size_t> positions;
+  for (const auto& prof : profiles) {
+    const CVec corr = sig::sliding_correlation(
+        phy::preamble_waveform(cfg_.preamble_len), rx, prof.freq_offset);
+    const double thr = threshold(db_to_lin(prof.snr_db), noise);
+    for (const std::size_t pk : sig::find_peaks(corr, thr, cfg_.min_separation)) {
+      bool merged = false;
+      for (auto& existing : positions)
+        if (std::llabs(static_cast<long long>(existing) -
+                       static_cast<long long>(pk)) <=
+            static_cast<long long>(cfg_.min_separation)) {
+          merged = true;
+          break;
+        }
+      if (!merged) positions.push_back(pk);
+    }
+  }
+
+  for (const std::size_t pk : positions) {
+    // Slope-based offset measurement (client-agnostic).
+    const auto probe = phy::estimate_at_peak(rx, pk, 0.0, cfg_.preamble_len);
+    int best = -1;
+    double best_d = 1e9;
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      const double d = std::abs(probe.freq_offset - profiles[pi].freq_offset);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(pi);
+      }
+    }
+    const double coarse = best >= 0 ? profiles[static_cast<std::size_t>(best)].freq_offset : 0.0;
+    const auto pe = phy::estimate_at_peak(rx, pk, coarse, cfg_.preamble_len);
+    Detection d;
+    d.origin = pe.origin;
+    d.mu = pe.mu;
+    d.h = pe.h;
+    d.freq_offset = coarse;
+    d.metric = pe.metric;
+    d.profile_index = best;
+    out.push_back(d);
+  }
+
+  if (out.size() > cfg_.max_detections) {
+    std::sort(out.begin(), out.end(),
+              [](const Detection& a, const Detection& b) {
+                return a.metric > b.metric;
+              });
+    out.resize(cfg_.max_detections);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.origin < b.origin;
+            });
+  return out;
+}
+
+}  // namespace zz::zigzag

@@ -1,0 +1,64 @@
+// "Is It a Collision?" — §4.2.1.
+//
+// The AP slides the known preamble over the received signal, compensating
+// for each active client's coarse frequency offset (kept from association),
+// and reads packet starts off the correlation spikes. A spike in the middle
+// of a reception = a collision, and its position is the offset Δ between
+// the colliding packets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "zz/common/types.h"
+#include "zz/phy/receiver.h"
+
+namespace zz::zigzag {
+
+/// One detected packet start inside a reception.
+struct Detection {
+  std::ptrdiff_t origin = 0;   ///< integer sample index of symbol 0
+  double mu = 0.0;             ///< sub-sample offset (parabolic refinement)
+  cplx h{0.0, 0.0};            ///< channel estimate from the peak (§4.2.4a)
+  double freq_offset = 0.0;    ///< coarse δf̂ used for this client
+  double metric = 0.0;         ///< |Γ'| at the peak
+  int profile_index = -1;      ///< best-matching client, -1 if unknown
+};
+
+struct DetectorConfig {
+  /// Threshold factor (§5.3a). The paper tunes β ∈ [0.6, 0.7] on its USRP
+  /// correlation statistics; β = 0.65 works here too: correlation false positives are capped per reception and neutralized by the decoder, so the threshold optimizes against false negatives (missed collisions).
+  /// same false-positive/false-negative balance (Table 5.1 bench sweeps β).
+  double beta = 0.65;
+  std::size_t preamble_len = phy::kPreambleLength;
+  std::size_t min_separation = 16;    ///< samples between distinct starts
+  std::size_t max_detections = 4;     ///< keep the strongest starts
+};
+
+class CollisionDetector {
+ public:
+  explicit CollisionDetector(DetectorConfig cfg = {});
+
+  const DetectorConfig& config() const { return cfg_; }
+
+  /// All packet starts of the known clients in `rx`, sorted by position.
+  /// Every client's coarse δf̂ hypothesis is tried; overlapping detections
+  /// keep the strongest hypothesis.
+  std::vector<Detection> detect(const CVec& rx,
+                                std::span<const phy::SenderProfile> profiles) const;
+
+  /// The sliding-correlation magnitude profile for one client hypothesis —
+  /// the curve of Fig 4-2.
+  std::vector<double> correlation_profile(const CVec& rx,
+                                          double coarse_freq) const;
+
+  /// Detection threshold for a client at the given SNR over the given noise
+  /// floor: β · E_preamble · sqrt(SNR · noise).
+  double threshold(double snr_linear, double noise_floor) const;
+
+ private:
+  DetectorConfig cfg_;
+};
+
+}  // namespace zz::zigzag

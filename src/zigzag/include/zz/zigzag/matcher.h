@@ -1,0 +1,33 @@
+// "Did the AP Receive Two Matching Collisions?" — §4.2.2.
+//
+// The AP keeps recent unmatched collisions (raw samples). When a new
+// collision arrives it aligns candidate packet starts across the two
+// receptions and correlates: two copies of the same packet are identical up
+// to channel phase, noise and the retransmission flag, so the normalized
+// correlation is large; unrelated (scrambled) packets decorrelate.
+#pragma once
+
+#include <cstddef>
+
+#include "zz/common/types.h"
+
+namespace zz::zigzag {
+
+struct MatchConfig {
+  std::size_t skip = 192;    ///< samples to skip past preamble+header
+  std::size_t span = 512;    ///< samples to correlate
+  double threshold = 0.30;   ///< normalized score required for a match
+};
+
+struct MatchScore {
+  double score = 0.0;  ///< |<s1, s2>| / sqrt(E1·E2) over the compared span
+  bool matched = false;
+};
+
+/// Compare the transmissions starting at `start1` in `rx1` and `start2` in
+/// `rx2`: are they the same packet? Starts are the detected packet origins.
+MatchScore match_same_packet(const CVec& rx1, std::ptrdiff_t start1,
+                             const CVec& rx2, std::ptrdiff_t start2,
+                             const MatchConfig& cfg = {});
+
+}  // namespace zz::zigzag

@@ -1,0 +1,41 @@
+#include "zz/zigzag/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+namespace zz::zigzag {
+
+MatchScore match_same_packet(const CVec& rx1, std::ptrdiff_t start1,
+                             const CVec& rx2, std::ptrdiff_t start2,
+                             const MatchConfig& cfg) {
+  MatchScore out;
+  const std::ptrdiff_t s1 = start1 + static_cast<std::ptrdiff_t>(cfg.skip);
+  const std::ptrdiff_t s2 = start2 + static_cast<std::ptrdiff_t>(cfg.skip);
+  if (s1 < 0 || s2 < 0) return out;
+
+  const std::size_t n1 = rx1.size() > static_cast<std::size_t>(s1)
+                             ? rx1.size() - static_cast<std::size_t>(s1)
+                             : 0;
+  const std::size_t n2 = rx2.size() > static_cast<std::size_t>(s2)
+                             ? rx2.size() - static_cast<std::size_t>(s2)
+                             : 0;
+  const std::size_t span = std::min(cfg.span, std::min(n1, n2));
+  if (span < 64) return out;  // not enough overlap to judge
+
+  cplx acc{0.0, 0.0};
+  double e1 = 0.0, e2 = 0.0;
+  for (std::size_t i = 0; i < span; ++i) {
+    const cplx a = rx1[static_cast<std::size_t>(s1) + i];
+    const cplx b = rx2[static_cast<std::size_t>(s2) + i];
+    acc += a * std::conj(b);
+    e1 += std::norm(a);
+    e2 += std::norm(b);
+  }
+  if (e1 < 1e-12 || e2 < 1e-12) return out;
+  out.score = std::abs(acc) / std::sqrt(e1 * e2);
+  out.matched = out.score >= cfg.threshold;
+  return out;
+}
+
+}  // namespace zz::zigzag

@@ -1,0 +1,214 @@
+#include "zz/zigzag/receiver.h"
+
+#include <algorithm>
+
+#include "zz/chan/channel.h"
+
+namespace zz::zigzag {
+namespace {
+
+CollisionInput make_input(const CVec& samples,
+                          const std::vector<Detection>& dets,
+                          const std::vector<std::size_t>& packet_ids,
+                          bool is_retx) {
+  CollisionInput in;
+  in.samples = &samples;
+  in.is_retransmission = is_retx;
+  for (std::size_t i = 0; i < dets.size(); ++i)
+    in.placements.push_back({packet_ids[i], dets[i]});
+  return in;
+}
+
+}  // namespace
+
+ZigZagReceiver::ZigZagReceiver(ReceiverOptions opt) : opt_(std::move(opt)) {}
+
+void ZigZagReceiver::add_client(const phy::SenderProfile& profile) {
+  clients_.push_back(profile);
+}
+
+bool ZigZagReceiver::fresh(const phy::FrameHeader& h) {
+  return delivered_keys_.insert({h.sender_id, h.seq}).second;
+}
+
+std::vector<Delivered> ZigZagReceiver::try_single(
+    const CVec& rx, const std::vector<Detection>& dets) {
+  // A single reception handed to the general decoder covers the standard
+  // no-collision decode, the capture effect (Fig 4-1d), and single-collision
+  // interference cancellation (Fig 4-1e) in one code path.
+  DecodeOptions fast = opt_.decode;
+  fast.max_stall_breaks = opt_.single_shot_stall_breaks;
+  fast.backward_pass = false;
+  fast.refinement_passes = std::min(opt_.decode.refinement_passes, 1);
+  const ZigZagDecoder dec(fast, opt_.rx);
+
+  std::vector<std::size_t> ids(dets.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  const CollisionInput in = make_input(rx, dets, ids, false);
+  const auto res = dec.decode({&in, 1}, clients_, dets.size());
+
+  std::vector<Delivered> out;
+  for (const auto& p : res.packets) {
+    if (!p.crc_ok || !fresh(p.header)) continue;
+    out.push_back({p.header, p.payload, p.air_bits, true, false,
+                   dets.size() > 1});
+  }
+  return out;
+}
+
+std::vector<Delivered> ZigZagReceiver::try_joint(
+    const std::vector<const PendingCollision*>& olds, const CVec& rx,
+    const std::vector<Detection>& dets, bool* matched) {
+  *matched = false;
+
+  // Register packets across all receptions, unifying copies by data
+  // correlation (§4.2.2) against the reception where each packet was first
+  // seen; unmatched detections become new packets.
+  struct Anchor {
+    const CVec* samples;
+    std::ptrdiff_t origin;
+  };
+  std::vector<Anchor> registry;
+  std::vector<CollisionInput> inputs;
+  std::size_t matches = 0;
+
+  auto place = [&](const CVec& samples, const std::vector<Detection>& ds,
+                   bool is_retx) {
+    std::vector<std::size_t> ids(ds.size());
+    std::vector<bool> used(registry.size(), false);
+    for (std::size_t j = 0; j < ds.size(); ++j) {
+      double best = 0.0;
+      int best_i = -1;
+      for (std::size_t i = 0; i < registry.size(); ++i) {
+        if (used[i]) continue;
+        const auto score =
+            match_same_packet(*registry[i].samples, registry[i].origin,
+                              samples, ds[j].origin, opt_.match);
+        if (score.matched && score.score > best) {
+          best = score.score;
+          best_i = static_cast<int>(i);
+        }
+      }
+      if (best_i >= 0) {
+        ids[j] = static_cast<std::size_t>(best_i);
+        used[static_cast<std::size_t>(best_i)] = true;
+        ++matches;
+      } else {
+        ids[j] = registry.size();
+        registry.push_back({&samples, ds[j].origin});
+        used.push_back(true);
+      }
+    }
+    inputs.push_back(make_input(samples, ds, ids, is_retx));
+  };
+
+  for (const auto* old_coll : olds)
+    place(old_coll->samples, old_coll->detections,
+          old_coll != olds.front());
+  place(rx, dets, true);
+
+  if (matches == 0) return {};
+  *matched = true;
+
+  const ZigZagDecoder dec(opt_.decode, opt_.rx);
+  const auto res = dec.decode({inputs.data(), inputs.size()}, clients_,
+                              registry.size());
+
+  std::vector<Delivered> out;
+  for (const auto& p : res.packets) {
+    if (!p.header_ok) continue;
+    if (p.crc_ok && !fresh(p.header)) continue;
+    out.push_back({p.header, p.payload, p.air_bits, p.crc_ok, true, false});
+  }
+  return out;
+}
+
+std::vector<Delivered> ZigZagReceiver::try_capture_second(
+    const CVec& rx, const std::vector<Delivered>& got) {
+  if (got.empty()) return {};
+  const phy::StandardReceiver std_rx(opt_.rx);
+
+  // Re-decode each delivered packet to recover its link estimate, re-encode
+  // it through that estimate and cancel it out of the reception.
+  CVec cleaned = rx;
+  bool removed = false;
+  for (const auto& d : got) {
+    if (!d.crc_ok) continue;
+    const phy::SenderProfile* prof = nullptr;
+    for (const auto& c : clients_)
+      if (c.id == d.header.sender_id) prof = &c;
+    const auto pd = std_rx.decode(cleaned, prof);
+    if (!pd.crc_ok) continue;
+    const phy::TxFrame frame = phy::build_frame(pd.header, pd.payload);
+    chan::add_signal(cleaned, pd.origin, frame.symbols, pd.est.params, -1.0);
+    removed = true;
+  }
+  if (!removed) return {};
+
+  // Anything still standing is a weaker packet the capture was hiding.
+  const CollisionDetector detector(opt_.detector);
+  const auto dets = detector.detect(cleaned, clients_);
+  if (dets.empty()) return {};
+  auto out = try_single(cleaned, dets);
+  for (auto& d : out) d.via_sic = true;
+  return out;
+}
+
+void ZigZagReceiver::remember(const CVec& rx, std::vector<Detection> dets) {
+  pending_.push_back({rx, std::move(dets)});
+  while (pending_.size() > opt_.max_pending) pending_.pop_front();
+}
+
+std::vector<Delivered> ZigZagReceiver::receive(const CVec& rx) {
+  const CollisionDetector detector(opt_.detector);
+  const auto dets = detector.detect(rx, clients_);
+  if (dets.empty()) return {};
+
+  // Standard decode / capture / single-collision cancellation first.
+  auto out = try_single(rx, dets);
+  if (!out.empty()) {
+    // Capture check (§5.1d): subtract what was decoded and look again for
+    // weaker packets hidden underneath.
+    const auto extra = try_capture_second(rx, out);
+    out.insert(out.end(), extra.begin(), extra.end());
+  }
+  const bool unresolved = out.size() < dets.size();
+  if (!unresolved) return out;
+
+  // Unresolved collision: look for matching earlier collisions (§4.2.2).
+  // Try every stored reception as a pair partner; if a matched pair still
+  // cannot be decoded (e.g. three-way collisions need a third equation,
+  // §4.5), widen to the two most recent matching receptions.
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    bool matched = false;
+    auto joint_out = try_joint({&*it}, rx, dets, &matched);
+    if (!matched) continue;
+    const bool useful = std::any_of(
+        joint_out.begin(), joint_out.end(),
+        [](const Delivered& d) { return d.crc_ok || !d.air_bits.empty(); });
+    if (useful) {
+      out.insert(out.end(), joint_out.begin(), joint_out.end());
+      pending_.erase(it);
+      return out;
+    }
+    if (std::next(it) != pending_.end()) {
+      bool matched3 = false;
+      auto triple_out = try_joint({&*it, &*std::next(it)}, rx, dets, &matched3);
+      const bool useful3 = std::any_of(
+          triple_out.begin(), triple_out.end(),
+          [](const Delivered& d) { return d.crc_ok || !d.air_bits.empty(); });
+      if (matched3 && useful3) {
+        out.insert(out.end(), triple_out.begin(), triple_out.end());
+        pending_.erase(std::next(it));
+        pending_.erase(it);
+        return out;
+      }
+    }
+    break;  // matched but undecodable (e.g. identical offsets): store below
+  }
+
+  remember(rx, dets);
+  return out;
+}
+
+}  // namespace zz::zigzag

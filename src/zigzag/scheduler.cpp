@@ -1,0 +1,126 @@
+#include "zz/zigzag/scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace zz::zigzag {
+namespace {
+
+// Is symbol k of `pl` free of interference from unknown symbols of every
+// other placement in the same collision?
+bool symbol_clean(const Pattern& pattern,
+                  const std::vector<std::vector<std::uint8_t>>& known,
+                  const std::vector<Pattern::Placement>& coll,
+                  std::size_t self, std::size_t k, std::ptrdiff_t guard) {
+  const auto& pl = coll[self];
+  const std::ptrdiff_t pos = pl.offset + static_cast<std::ptrdiff_t>(k);
+  for (std::size_t oi = 0; oi < coll.size(); ++oi) {
+    if (oi == self) continue;
+    const auto& other = coll[oi];
+    const auto olen = static_cast<std::ptrdiff_t>(pattern.lengths[other.packet]);
+    // Unknown symbols j of `other` with |other.offset + j - pos| <= guard.
+    const std::ptrdiff_t jlo =
+        std::max<std::ptrdiff_t>(0, pos - guard - other.offset);
+    const std::ptrdiff_t jhi =
+        std::min<std::ptrdiff_t>(olen - 1, pos + guard - other.offset);
+    for (std::ptrdiff_t j = jlo; j <= jhi; ++j)
+      if (!known[other.packet][static_cast<std::size_t>(j)]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ScheduleResult greedy_schedule(const Pattern& pattern, std::size_t guard) {
+  for (const auto& coll : pattern.collisions)
+    for (const auto& pl : coll)
+      if (pl.packet >= pattern.lengths.size())
+        throw std::invalid_argument("greedy_schedule: placement out of range");
+
+  const std::size_t npk = pattern.lengths.size();
+  std::vector<std::vector<std::uint8_t>> known(npk);
+  for (std::size_t p = 0; p < npk; ++p) known[p].assign(pattern.lengths[p], 0);
+
+  ScheduleResult res;
+  const auto g = static_cast<std::ptrdiff_t>(guard);
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    ++res.rounds;
+    for (std::size_t c = 0; c < pattern.collisions.size(); ++c) {
+      const auto& coll = pattern.collisions[c];
+      for (std::size_t self = 0; self < coll.size(); ++self) {
+        const auto& pl = coll[self];
+        const std::size_t len = pattern.lengths[pl.packet];
+        std::size_t k = 0;
+        while (k < len) {
+          if (known[pl.packet][k] ||
+              !symbol_clean(pattern, known, coll, self, k, g)) {
+            ++k;
+            continue;
+          }
+          // Extend a maximal decodable run.
+          std::size_t k1 = k;
+          while (k1 < len && !known[pl.packet][k1] &&
+                 symbol_clean(pattern, known, coll, self, k1, g))
+            ++k1;
+          for (std::size_t j = k; j < k1; ++j) known[pl.packet][j] = 1;
+          res.steps.push_back({c, pl.packet, k, k1});
+          progress = true;
+          k = k1;
+        }
+      }
+    }
+  }
+
+  res.complete = true;
+  for (std::size_t p = 0; p < npk; ++p) {
+    const bool all = std::all_of(known[p].begin(), known[p].end(),
+                                 [](std::uint8_t v) { return v != 0; });
+    if (!all) {
+      res.complete = false;
+      res.undecoded_packets.push_back(p);
+    }
+  }
+  return res;
+}
+
+bool pairwise_condition_holds(const Pattern& pattern) {
+  const std::size_t npk = pattern.lengths.size();
+  // For every unordered pair: the set of relative offsets across collisions
+  // where both appear, and whether either ever appears without the other.
+  for (std::size_t a = 0; a < npk; ++a) {
+    for (std::size_t b = a + 1; b < npk; ++b) {
+      std::set<std::ptrdiff_t> rel;
+      bool ever_together = false;
+      bool ever_apart = false;
+      for (const auto& coll : pattern.collisions) {
+        std::ptrdiff_t oa = 0, ob = 0;
+        bool ha = false, hb = false;
+        for (const auto& pl : coll) {
+          if (pl.packet == a) {
+            ha = true;
+            oa = pl.offset;
+          }
+          if (pl.packet == b) {
+            hb = true;
+            ob = pl.offset;
+          }
+        }
+        if (ha && hb) {
+          ever_together = true;
+          rel.insert(oa - ob);
+        } else if (ha != hb) {
+          ever_apart = true;
+        }
+      }
+      if (ever_together && rel.size() < 2 && !ever_apart) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace zz::zigzag

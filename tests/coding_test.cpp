@@ -1,0 +1,81 @@
+// Tests for zz::coding — the K=7 rate-1/2 convolutional code and Viterbi
+// decoding (the paper's §6a extension).
+#include <gtest/gtest.h>
+
+#include "zz/coding/convolutional.h"
+#include "zz/common/mathutil.h"
+#include "zz/common/rng.h"
+
+namespace zz::coding {
+namespace {
+
+TEST(Conv, EncodeLengthAndDeterminism) {
+  ConvolutionalCode code;
+  Rng rng(1);
+  const Bits data = rng.bits(100);
+  const Bits c1 = code.encode(data);
+  const Bits c2 = code.encode(data);
+  EXPECT_EQ(c1.size(), ConvolutionalCode::coded_bits(100));
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(Conv, RoundTripNoErrors) {
+  ConvolutionalCode code;
+  Rng rng(2);
+  for (std::size_t len : {1u, 7u, 64u, 500u}) {
+    const Bits data = rng.bits(len);
+    EXPECT_EQ(code.decode_hard(code.encode(data)), data) << "len=" << len;
+  }
+}
+
+TEST(Conv, CorrectsScatteredBitErrors) {
+  // Free distance 10: scattered single errors are easily corrected.
+  ConvolutionalCode code;
+  Rng rng(3);
+  const Bits data = rng.bits(400);
+  Bits coded = code.encode(data);
+  for (std::size_t pos : {13u, 111u, 230u, 377u, 540u, 699u})
+    coded[pos] ^= 1;
+  EXPECT_EQ(code.decode_hard(coded), data);
+}
+
+TEST(Conv, SoftBeatsHardAtLowSnr) {
+  ConvolutionalCode code;
+  Rng rng(4);
+  std::size_t hard_err = 0, soft_err = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bits data = rng.bits(300);
+    const Bits coded = code.encode(data);
+    // BPSK over AWGN at ~2.5 dB Eb/N0.
+    std::vector<double> llr(coded.size());
+    Bits hard(coded.size());
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+      const double x = coded[i] ? -1.0 : 1.0;
+      const double y = x + rng.gaussian() * 0.75;
+      llr[i] = y;
+      hard[i] = y < 0 ? 1 : 0;
+    }
+    hard_err += hamming_distance(code.decode_hard(hard), data);
+    soft_err += hamming_distance(code.decode_soft(llr), data);
+  }
+  EXPECT_LE(soft_err, hard_err);
+  EXPECT_LT(soft_err, 60u);  // coding keeps the channel usable
+}
+
+TEST(Conv, UncorrectableBurstStillReturnsRightLength) {
+  ConvolutionalCode code;
+  Rng rng(5);
+  const Bits data = rng.bits(64);
+  Bits coded = code.encode(data);
+  for (std::size_t i = 20; i < 60; ++i) coded[i] ^= 1;  // 40-bit burst
+  const Bits out = code.decode_hard(coded);
+  EXPECT_EQ(out.size(), data.size());
+}
+
+TEST(Conv, RejectsOddLength) {
+  ConvolutionalCode code;
+  EXPECT_THROW(code.decode_hard(Bits(17, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace zz::coding

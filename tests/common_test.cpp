@@ -1,0 +1,174 @@
+// Unit tests for zz::common — RNG, CRC-32, math helpers, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zz/common/crc32.h"
+#include "zz/common/mathutil.h"
+#include "zz/common/rng.h"
+#include "zz/common/stats.h"
+#include "zz/common/table.h"
+
+namespace zz {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianComplexVariance) {
+  Rng r(11);
+  const double target = 2.5;
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += std::norm(r.gaussian_c(target));
+  EXPECT_NEAR(acc / n, target, 0.1);
+}
+
+TEST(Rng, UnitPhasorMagnitude) {
+  Rng r(3);
+  for (int i = 0; i < 50; ++i) EXPECT_NEAR(std::abs(r.unit_phasor()), 1.0, 1e-12);
+}
+
+TEST(Rng, BitsAreBalanced) {
+  Rng r(5);
+  const Bits b = r.bits(10000);
+  double ones = 0;
+  for (auto v : b) ones += v;
+  EXPECT_NEAR(ones / 10000.0, 0.5, 0.03);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  // Child stream should not mirror parent stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.uniform() == child.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Crc32, KnownVector) {
+  // Standard check value for "123456789".
+  const Bytes data{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyBuffer) { EXPECT_EQ(crc32({}), 0x00000000u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Rng r(13);
+  const Bytes data = r.bytes(257);
+  Crc32 inc;
+  for (auto b : data) inc.update(b);
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Rng r(17);
+  Bytes data = r.bytes(64);
+  const auto before = crc32(data);
+  data[20] ^= 0x10;
+  EXPECT_NE(before, crc32(data));
+}
+
+TEST(MathUtil, DbRoundtrip) {
+  EXPECT_NEAR(db_to_lin(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_lin(3.0), 1.9953, 1e-3);
+  EXPECT_NEAR(lin_to_db(db_to_lin(7.3)), 7.3, 1e-10);
+}
+
+TEST(MathUtil, Sinc) {
+  EXPECT_DOUBLE_EQ(sinc(0.0), 1.0);
+  EXPECT_NEAR(sinc(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(sinc(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(sinc(0.5), 2.0 / kPi, 1e-12);
+}
+
+TEST(MathUtil, WrapPhase) {
+  EXPECT_NEAR(wrap_phase(3.0 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_phase(-3.0 * kPi), kPi, 1e-9);
+  EXPECT_NEAR(wrap_phase(0.3), 0.3, 1e-12);
+}
+
+TEST(MathUtil, HammingAndBer) {
+  const Bits a{0, 1, 1, 0, 1};
+  const Bits b{0, 1, 0, 0, 1};
+  EXPECT_EQ(hamming_distance(a, b), 1u);
+  EXPECT_NEAR(bit_error_rate(a, b), 0.2, 1e-12);
+  // Length mismatch counts the tail as errors.
+  const Bits c{0, 1, 1, 0, 1, 1, 1};
+  EXPECT_EQ(hamming_distance(a, c), 2u);
+}
+
+TEST(MathUtil, MeanPowerAndEnergy) {
+  const CVec x{{3.0, 4.0}, {0.0, 0.0}};
+  EXPECT_NEAR(energy(x), 25.0, 1e-12);
+  EXPECT_NEAR(mean_power(x), 12.5, 1e-12);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Cdf, PercentilesAndFractions) {
+  Cdf c;
+  for (int i = 1; i <= 100; ++i) c.add(i);
+  EXPECT_NEAR(c.percentile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(c.percentile(1.0), 100.0, 1e-12);
+  EXPECT_NEAR(c.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(c.fraction_below(50.0), 0.5, 1e-12);
+  EXPECT_NEAR(c.mean(), 50.5, 1e-12);
+}
+
+TEST(Cdf, CurveIsMonotone) {
+  Rng r(23);
+  Cdf c;
+  for (int i = 0; i < 500; ++i) c.add(r.gaussian());
+  const auto pts = c.curve(11);
+  ASSERT_EQ(pts.size(), 11u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].first, pts[i - 1].first);
+    EXPECT_GE(pts[i].second, pts[i - 1].second);
+  }
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(Table::pct(0.823, 1), "82.3%");
+  EXPECT_EQ(Table::num(1.5, 3), "1.5");
+  Table t({"a", "b"});
+  t.add_row({"1"});  // short row padded
+  t.print("smoke");  // must not crash
+}
+
+}  // namespace
+}  // namespace zz

@@ -1,0 +1,236 @@
+// Cross-module property sweeps: the full pipeline (TX → channel →
+// collisions → ZigZag) across the offset/SNR grid, and randomized
+// consistency checks between the abstract scheduler and Assertion 4.5.1.
+#include <gtest/gtest.h>
+
+#include "zz/chan/channel.h"
+#include "zz/common/mathutil.h"
+#include "zz/common/rng.h"
+#include "zz/emu/collision.h"
+#include "zz/phy/receiver.h"
+#include "zz/phy/transmitter.h"
+#include "zz/zigzag/decoder.h"
+#include "zz/zigzag/scheduler.h"
+
+namespace zz {
+namespace {
+
+using zigzag::CollisionInput;
+using zigzag::Detection;
+using zigzag::ZigZagDecoder;
+
+struct Party {
+  phy::TxFrame frame;
+  chan::ChannelParams channel;
+  phy::SenderProfile profile;
+};
+
+Party make_party(Rng& rng, std::uint8_t id, std::size_t payload, double snr) {
+  Party p;
+  phy::FrameHeader h;
+  h.sender_id = id;
+  h.seq = static_cast<std::uint16_t>(id * 17);
+  h.payload_bytes = static_cast<std::uint16_t>(payload);
+  p.frame = phy::build_frame(h, rng.bytes(payload));
+  chan::ImpairmentConfig icfg;
+  icfg.snr_db = snr;
+  icfg.freq_offset_max = 2e-3;
+  p.channel = chan::random_channel(rng, icfg);
+  p.profile.id = id;
+  p.profile.freq_offset = p.channel.freq_offset + rng.uniform(-1e-5, 1e-5);
+  p.profile.snr_db = snr;
+  p.profile.isi = p.channel.isi;
+  p.profile.equalizer = p.channel.isi.inverse(7, 3);
+  return p;
+}
+
+Detection detect(const emu::Reception& rec, int idx,
+                 const phy::SenderProfile& prof, int pi) {
+  const auto pe = phy::estimate_at_peak(
+      rec.samples, static_cast<std::size_t>(rec.truth[idx].start),
+      prof.freq_offset);
+  Detection d;
+  d.origin = pe.origin;
+  d.mu = pe.mu;
+  d.h = pe.h;
+  d.freq_offset = prof.freq_offset;
+  d.metric = pe.metric;
+  d.profile_index = pi;
+  return d;
+}
+
+double ber_vs(const phy::TxFrame& truth, const zigzag::PacketResult& r) {
+  if (!r.header_ok) return 1.0;
+  const phy::TxFrame ref = truth.header.retry == r.header.retry
+                               ? truth
+                               : phy::with_retry(truth, r.header.retry);
+  return bit_error_rate(ref.air_bits(), r.air_bits);
+}
+
+// -------------------------------------------------------------------------
+// Pair decoding across the (snr, Δ1, Δ2) grid — the paper's core claim is
+// that *any* pair of distinct offsets bootstraps the decoder.
+// -------------------------------------------------------------------------
+
+struct GridCase {
+  double snr_db;
+  std::ptrdiff_t d1, d2;
+};
+
+class PairGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(PairGrid, BothPacketsDeliver) {
+  const GridCase c = GetParam();
+  Rng rng(0xfeed + static_cast<std::uint64_t>(c.snr_db * 10) +
+          static_cast<std::uint64_t>(c.d1 * 3 + c.d2));
+  auto alice = make_party(rng, 1, 250, c.snr_db);
+  auto bob = make_party(rng, 2, 250, c.snr_db);
+  auto c1 = emu::CollisionBuilder()
+                .add(alice.frame, alice.channel, 0)
+                .add(bob.frame, bob.channel, c.d1)
+                .build(rng);
+  auto c2 = emu::CollisionBuilder()
+                .add(phy::with_retry(alice.frame, true),
+                     chan::retransmission_channel(rng, alice.channel), 0)
+                .add(phy::with_retry(bob.frame, true),
+                     chan::retransmission_channel(rng, bob.channel), c.d2)
+                .build(rng);
+  std::vector<phy::SenderProfile> profiles{alice.profile, bob.profile};
+  CollisionInput i1{&c1.samples,
+                    {{0, detect(c1, 0, alice.profile, 0)},
+                     {1, detect(c1, 1, bob.profile, 1)}},
+                    false};
+  CollisionInput i2{&c2.samples,
+                    {{0, detect(c2, 0, alice.profile, 0)},
+                     {1, detect(c2, 1, bob.profile, 1)}},
+                    true};
+  const CollisionInput inputs[2] = {i1, i2};
+  const auto res = ZigZagDecoder().decode({inputs, 2}, profiles, 2);
+  EXPECT_LT(ber_vs(alice.frame, res.packets[0]), 1e-3)
+      << "snr=" << c.snr_db << " d1=" << c.d1 << " d2=" << c.d2;
+  EXPECT_LT(ber_vs(bob.frame, res.packets[1]), 1e-3)
+      << "snr=" << c.snr_db << " d1=" << c.d1 << " d2=" << c.d2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OffsetSnrGrid, PairGrid,
+    ::testing::Values(GridCase{9.0, 120, 480}, GridCase{9.0, 480, 120},
+                      GridCase{12.0, 100, 900}, GridCase{12.0, 700, 200},
+                      GridCase{15.0, 40, 1200}, GridCase{15.0, 1000, 100},
+                      GridCase{10.0, 260, 620}, GridCase{18.0, 300, 150}));
+
+// -------------------------------------------------------------------------
+// Scheduler consistency: on random two-packet patterns the greedy algorithm
+// succeeds iff the offsets differ (Assertion 4.5.1 specialized to pairs).
+// -------------------------------------------------------------------------
+
+TEST(SchedulerProperty, PairSuccessIffOffsetsDiffer) {
+  Rng rng(0xabcd);
+  for (int trial = 0; trial < 400; ++trial) {
+    zigzag::Pattern p;
+    p.lengths = {static_cast<std::size_t>(rng.uniform_int(40, 200)),
+                 static_cast<std::size_t>(rng.uniform_int(40, 200))};
+    const auto o1 = rng.uniform_int(0, 60);
+    const auto o2 = rng.uniform_int(0, 60);
+    p.collisions = {{{0, 0}, {1, o1}}, {{0, 0}, {1, o2}}};
+    const bool decodable = zigzag::greedy_schedule(p).complete;
+    const bool condition = zigzag::pairwise_condition_holds(p);
+    EXPECT_EQ(decodable, condition)
+        << "lens=" << p.lengths[0] << "," << p.lengths[1] << " o1=" << o1
+        << " o2=" << o2;
+  }
+}
+
+TEST(SchedulerProperty, ConditionImpliesDecodableForThree) {
+  // Assertion 4.5.1: the pairwise condition is sufficient for three packets.
+  Rng rng(0xdcba);
+  std::size_t checked = 0;
+  for (int trial = 0; trial < 600; ++trial) {
+    zigzag::Pattern p;
+    p.lengths = {100, 100, 100};
+    for (int c = 0; c < 3; ++c) {
+      std::vector<zigzag::Pattern::Placement> coll;
+      for (std::size_t i = 0; i < 3; ++i)
+        coll.push_back({i, rng.uniform_int(0, 50)});
+      p.collisions.push_back(std::move(coll));
+    }
+    if (!zigzag::pairwise_condition_holds(p)) continue;
+    ++checked;
+    EXPECT_TRUE(zigzag::greedy_schedule(p).complete) << "trial " << trial;
+  }
+  EXPECT_GT(checked, 400u);  // the condition holds for most random draws
+}
+
+TEST(SchedulerProperty, StepsCoverEverySymbolExactlyOnce) {
+  Rng rng(0x5555);
+  for (int trial = 0; trial < 100; ++trial) {
+    zigzag::Pattern p;
+    p.lengths = {static_cast<std::size_t>(rng.uniform_int(50, 150)),
+                 static_cast<std::size_t>(rng.uniform_int(50, 150))};
+    p.collisions = {{{0, 0}, {1, rng.uniform_int(1, 40)}},
+                    {{0, 0}, {1, rng.uniform_int(41, 80)}}};
+    const auto r = zigzag::greedy_schedule(p);
+    if (!r.complete) continue;
+    std::vector<std::vector<int>> seen(2);
+    seen[0].assign(p.lengths[0], 0);
+    seen[1].assign(p.lengths[1], 0);
+    for (const auto& st : r.steps)
+      for (std::size_t k = st.k0; k < st.k1; ++k)
+        ++seen[st.packet][k];
+    for (int pk = 0; pk < 2; ++pk)
+      for (std::size_t k = 0; k < p.lengths[static_cast<std::size_t>(pk)]; ++k)
+        ASSERT_EQ(seen[pk][k], 1) << "packet " << pk << " symbol " << k;
+  }
+}
+
+// -------------------------------------------------------------------------
+// End-to-end conservation: subtracting every decoded packet's image leaves
+// a residual at the noise floor — the physical sanity check behind ZigZag.
+// -------------------------------------------------------------------------
+
+TEST(Integration, DecodedImagesExplainTheReception) {
+  Rng rng(0x777);
+  auto alice = make_party(rng, 1, 200, 14.0);
+  auto bob = make_party(rng, 2, 200, 14.0);
+  auto c1 = emu::CollisionBuilder()
+                .add(alice.frame, alice.channel, 0)
+                .add(bob.frame, bob.channel, 300)
+                .build(rng);
+  auto c2 = emu::CollisionBuilder()
+                .add(phy::with_retry(alice.frame, true),
+                     chan::retransmission_channel(rng, alice.channel), 0)
+                .add(phy::with_retry(bob.frame, true),
+                     chan::retransmission_channel(rng, bob.channel), 800)
+                .build(rng);
+  std::vector<phy::SenderProfile> profiles{alice.profile, bob.profile};
+  CollisionInput i1{&c1.samples,
+                    {{0, detect(c1, 0, alice.profile, 0)},
+                     {1, detect(c1, 1, bob.profile, 1)}},
+                    false};
+  CollisionInput i2{&c2.samples,
+                    {{0, detect(c2, 0, alice.profile, 0)},
+                     {1, detect(c2, 1, bob.profile, 1)}},
+                    true};
+  const CollisionInput inputs[2] = {i1, i2};
+  const auto res = ZigZagDecoder().decode({inputs, 2}, profiles, 2);
+  ASSERT_TRUE(res.packets[0].crc_ok);
+  ASSERT_TRUE(res.packets[1].crc_ok);
+
+  // Rebuild both frames from the decoded payloads and subtract them from
+  // collision 1 using the TRUE channels: the payload bits must explain the
+  // waveform down to (near) the noise floor.
+  CVec residual = c1.samples;
+  const phy::TxFrame fa = phy::build_frame(res.packets[0].header,
+                                           res.packets[0].payload);
+  const phy::TxFrame fb = phy::build_frame(res.packets[1].header,
+                                           res.packets[1].payload);
+  // Collision 1 carried the retry=0 variants.
+  chan::add_signal(residual, c1.truth[0].start,
+                   phy::with_retry(fa, false).symbols, alice.channel, -1.0);
+  chan::add_signal(residual, c1.truth[1].start,
+                   phy::with_retry(fb, false).symbols, bob.channel, -1.0);
+  EXPECT_LT(mean_power(residual), 1.5);  // ≈ unit noise power
+}
+
+}  // namespace
+}  // namespace zz

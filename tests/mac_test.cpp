@@ -1,0 +1,74 @@
+// Tests for zz::mac — DCF timing, Lemma 4.4.1 ACK feasibility, and the
+// Fig 4-7 greedy-failure Monte Carlo.
+#include <gtest/gtest.h>
+
+#include "zz/common/rng.h"
+#include "zz/mac/offsets.h"
+#include "zz/mac/timing.h"
+
+namespace zz::mac {
+namespace {
+
+TEST(Timing, ExponentialBackoffDoublesAndSaturates) {
+  DcfTiming t;
+  EXPECT_EQ(t.cw_after(0), 31);
+  EXPECT_EQ(t.cw_after(1), 63);
+  EXPECT_EQ(t.cw_after(2), 127);
+  EXPECT_EQ(t.cw_after(5), 1023);
+  EXPECT_EQ(t.cw_after(12), 1023);  // capped at CWmax
+}
+
+TEST(Timing, AckBoundMatchesLemma441) {
+  // Appendix A: S=20us, ACK=30us, SIFS=10us, window 2·CW → P >= 0.9375.
+  EXPECT_NEAR(ack_offset_probability_bound(), 0.9375, 1e-9);
+}
+
+TEST(Timing, MonteCarloAgreesWithBound) {
+  Rng rng(1);
+  const double p = ack_offset_probability_mc(rng, 300000);
+  // The bound is a lower bound; the empirical value sits at or above it.
+  EXPECT_GE(p, 0.93);
+  EXPECT_LE(p, 1.0);
+  EXPECT_NEAR(p, 0.9375, 0.02);
+}
+
+TEST(Offsets, TwoNodesRarelyFail) {
+  Rng rng(2);
+  OffsetSimConfig cfg;
+  cfg.cw = 16;
+  const double f = greedy_failure_probability(rng, 2, 4000, cfg);
+  // Failure needs identical offset differences in both collisions.
+  EXPECT_LT(f, 0.15);
+  EXPECT_GT(f, 0.0);  // but it does happen (Assertion 4.5.1)
+}
+
+TEST(Offsets, FailureDropsWithLargerWindow) {
+  Rng rng(3);
+  OffsetSimConfig small, large;
+  small.cw = 8;
+  large.cw = 32;
+  const double fs = greedy_failure_probability(rng, 3, 3000, small);
+  const double fl = greedy_failure_probability(rng, 3, 3000, large);
+  EXPECT_GT(fs, fl);  // bigger windows → more distinct offsets
+}
+
+TEST(Offsets, ExponentialBackoffBeatsSmallFixedWindow) {
+  Rng rng(4);
+  OffsetSimConfig fixed, beb;
+  fixed.cw = 8;
+  beb.exponential_backoff = true;
+  const double ff = greedy_failure_probability(rng, 4, 2000, fixed);
+  const double fb = greedy_failure_probability(rng, 4, 2000, beb);
+  EXPECT_GE(ff, fb);  // Fig 4-7(b) sits below Fig 4-7(a) at cw=8
+}
+
+TEST(Offsets, FailureProbabilityIsSmallForManyNodes) {
+  Rng rng(5);
+  OffsetSimConfig cfg;
+  cfg.cw = 32;
+  // Fig 4-7: even at 5 nodes the greedy algorithm almost always succeeds.
+  EXPECT_LT(greedy_failure_probability(rng, 5, 800, cfg), 0.1);
+}
+
+}  // namespace
+}  // namespace zz::mac

@@ -1,0 +1,192 @@
+// Unit tests for zz::sig — FIR filtering/inversion/fitting, band-limited
+// interpolation, and the sliding correlator that powers collision detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zz/common/mathutil.h"
+#include "zz/common/rng.h"
+#include "zz/signal/correlate.h"
+#include "zz/signal/fir.h"
+#include "zz/signal/interp.h"
+
+namespace zz::sig {
+namespace {
+
+CVec random_bpsk(Rng& rng, std::size_t n) {
+  CVec x(n);
+  for (auto& v : x) v = rng.bit() ? cplx{1.0, 0.0} : cplx{-1.0, 0.0};
+  return x;
+}
+
+// Band-limited test signal: sum of sub-Nyquist complex tones.
+CVec bandlimited(std::size_t n) {
+  CVec x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    x[i] = cplx{std::cos(0.11 * kTwoPi * t), std::sin(0.23 * kTwoPi * t)} +
+           0.5 * cplx{std::cos(0.05 * kTwoPi * t + 1.0), 0.0};
+  }
+  return x;
+}
+
+TEST(Fir, IdentityPassesThrough) {
+  Fir id;
+  EXPECT_TRUE(id.is_identity());
+  Rng rng(1);
+  const CVec x = random_bpsk(rng, 32);
+  const CVec y = id.apply(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], y[i]);
+}
+
+TEST(Fir, CausalConvolution) {
+  Fir f({cplx{1.0, 0.0}, cplx{0.5, 0.0}});  // y[n] = x[n] + 0.5 x[n-1]
+  const CVec x{{1, 0}, {0, 0}, {0, 0}};
+  const CVec y = f.apply(x);
+  EXPECT_NEAR(std::abs(y[0] - cplx(1.0, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[1] - cplx(0.5, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[2]), 0.0, 1e-12);
+}
+
+TEST(Fir, NonCausalCentering) {
+  // y[n] = 0.2 x[n+1] + x[n] + 0.3 x[n-1]
+  Fir f({cplx{0.2, 0.0}, cplx{1.0, 0.0}, cplx{0.3, 0.0}}, 1);
+  const CVec x{{0, 0}, {1, 0}, {0, 0}};
+  const CVec y = f.apply(x);
+  EXPECT_NEAR(std::abs(y[0] - cplx(0.2, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[1] - cplx(1.0, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(y[2] - cplx(0.3, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Fir, RejectsBadConstruction) {
+  EXPECT_THROW(Fir({}, 0), std::invalid_argument);
+  EXPECT_THROW(Fir({cplx{1, 0}}, 3), std::invalid_argument);
+}
+
+TEST(Fir, InverseCancelsChannel) {
+  Rng rng(2);
+  const Fir h({cplx{0.1, 0.05}, cplx{1.0, 0.0}, cplx{0.2, -0.1}}, 1);
+  const Fir g = h.inverse(9, 4);
+  const CVec x = random_bpsk(rng, 256);
+  const CVec y = g.apply(h.apply(x));
+  double err = 0.0;
+  for (std::size_t i = 8; i + 8 < x.size(); ++i) err += std::norm(y[i] - x[i]);
+  EXPECT_LT(err / 240.0, 1e-3);
+}
+
+TEST(Fir, FitRecoversTrueTaps) {
+  Rng rng(3);
+  const Fir truth({cplx{0.08, 0.02}, cplx{1.0, 0.0}, cplx{0.15, -0.07}}, 1);
+  const CVec x = random_bpsk(rng, 512);
+  CVec y = truth.apply(x);
+  for (auto& v : y) v += rng.gaussian_c(0.001);  // light noise
+  const Fir fit = fit_fir(x, y, 1, 1);
+  ASSERT_EQ(fit.taps().size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_LT(std::abs(fit.taps()[i] - truth.taps()[i]), 0.02);
+}
+
+TEST(Fir, FitRejectsBadSizes) {
+  EXPECT_THROW(fit_fir(CVec(2), CVec(3), 1, 1), std::invalid_argument);
+}
+
+class InterpMuSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InterpMuSweep, ShiftRecoversBandlimitedSignal) {
+  const double mu = GetParam();
+  const SincInterpolator interp(8);
+  const CVec x = bandlimited(256);
+  const CVec y = interp.shift(x, mu);
+  // Compare against the analytic shifted signal in the interior.
+  double worst = 0.0;
+  for (std::size_t i = 24; i + 24 < x.size(); ++i) {
+    const double t = static_cast<double>(i) + mu;
+    const cplx truth =
+        cplx{std::cos(0.11 * kTwoPi * t), std::sin(0.23 * kTwoPi * t)} +
+        0.5 * cplx{std::cos(0.05 * kTwoPi * t + 1.0), 0.0};
+    worst = std::max(worst, std::abs(y[i] - truth));
+  }
+  EXPECT_LT(worst, 0.02) << "mu=" << mu;
+}
+
+INSTANTIATE_TEST_SUITE_P(MuGrid, InterpMuSweep,
+                         ::testing::Values(-0.5, -0.3, -0.1, 0.0, 0.07, 0.25,
+                                           0.49));
+
+TEST(Interp, IntegerShiftIsExact) {
+  const SincInterpolator interp(8);
+  const CVec x = bandlimited(64);
+  for (std::size_t i = 10; i < 50; ++i)
+    EXPECT_LT(std::abs(interp.at(x, static_cast<double>(i)) - x[i]), 1e-9);
+}
+
+TEST(Interp, RejectsZeroHalfWidth) {
+  EXPECT_THROW(SincInterpolator(0), std::invalid_argument);
+}
+
+TEST(Interp, OutOfRangeReadsAreZero) {
+  const SincInterpolator interp(4);
+  const CVec x(8, cplx{1.0, 0.0});
+  EXPECT_NEAR(std::abs(interp.at(x, -100.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(interp.at(x, 100.0)), 0.0, 1e-12);
+}
+
+TEST(Correlate, SpikesAtEmbeddedReference) {
+  Rng rng(4);
+  const CVec ref = random_bpsk(rng, 32);
+  CVec stream = random_bpsk(rng, 400);
+  // Overwrite positions 137.. with the reference.
+  for (std::size_t k = 0; k < ref.size(); ++k) stream[137 + k] = ref[k];
+  const CVec corr = sliding_correlation(ref, stream);
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < corr.size(); ++i)
+    if (std::abs(corr[i]) > std::abs(corr[best])) best = i;
+  EXPECT_EQ(best, 137u);
+  EXPECT_NEAR(std::abs(corr[137]), 32.0, 1e-9);
+}
+
+TEST(Correlate, FrequencyOffsetDestroysAndCompensationRestores) {
+  Rng rng(5);
+  const CVec ref = random_bpsk(rng, 64);
+  const double df = 0.01;  // cycles/sample — decoheres a 64-sample window
+  CVec stream(200, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    const double phi = kTwoPi * df * static_cast<double>(k);
+    stream[50 + k] = ref[k] * cplx{std::cos(phi), std::sin(phi)};
+  }
+  const cplx plain = correlation_at(ref, stream, 50);
+  const cplx comp = correlation_at(ref, stream, 50, df);
+  EXPECT_LT(std::abs(plain), 45.0);      // badly decohered
+  EXPECT_NEAR(std::abs(comp), 64.0, 1e-6);  // fully restored (Γ' of §4.2.1)
+}
+
+TEST(Correlate, FindPeaksRespectsThresholdAndSeparation) {
+  CVec corr(100, cplx{0.1, 0.0});
+  corr[20] = {5.0, 0.0};
+  corr[22] = {4.0, 0.0};  // swallowed by separation guard
+  corr[70] = {6.0, 0.0};
+  const auto peaks = find_peaks(corr, 3.0, 10);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 20u);
+  EXPECT_EQ(peaks[1], 70u);
+}
+
+TEST(Correlate, ParabolicOffsetTracksTruePeak) {
+  // Sample a smooth peak at fractional position 30.3.
+  CVec corr(64);
+  for (std::size_t i = 0; i < corr.size(); ++i) {
+    const double d = static_cast<double>(i) - 30.3;
+    corr[i] = cplx{std::exp(-d * d / 8.0), 0.0};
+  }
+  const double frac = parabolic_peak_offset(corr, 30);
+  EXPECT_NEAR(frac, 0.3, 0.05);
+}
+
+TEST(Correlate, EmptyAndShortStreams) {
+  const CVec ref(8, cplx{1.0, 0.0});
+  EXPECT_TRUE(sliding_correlation(ref, CVec(4)).empty());
+  EXPECT_TRUE(sliding_correlation(CVec{}, CVec(4)).empty());
+}
+
+}  // namespace
+}  // namespace zz::sig

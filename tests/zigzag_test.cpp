@@ -1,0 +1,677 @@
+// Tests for the ZigZag core: the greedy scheduler (§4.5), collision
+// detector (§4.2.1), matcher (§4.2.2), the full iterative decoder
+// (§4.2.3-4.2.4, §4.3) across the collision patterns of Fig 4-1, and the
+// receiver pipeline of §5.1(d).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "zz/chan/channel.h"
+#include "zz/common/mathutil.h"
+#include "zz/common/rng.h"
+#include "zz/emu/collision.h"
+#include "zz/phy/receiver.h"
+#include "zz/phy/transmitter.h"
+#include "zz/zigzag/decoder.h"
+#include "zz/zigzag/detector.h"
+#include "zz/zigzag/matcher.h"
+#include "zz/zigzag/receiver.h"
+#include "zz/zigzag/scheduler.h"
+
+namespace zz::zigzag {
+namespace {
+
+using phy::Modulation;
+
+// ---------------------------------------------------------------------------
+// Greedy scheduler (§4.5) on abstract patterns.
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, ClassicHiddenTerminalPair) {
+  // Fig 1-2: two collisions of the same two packets at different offsets.
+  Pattern p;
+  p.lengths = {100, 100};
+  p.collisions = {{{0, 0}, {1, 30}}, {{0, 0}, {1, 70}}};
+  const auto r = greedy_schedule(p);
+  EXPECT_TRUE(r.complete);
+  ASSERT_FALSE(r.steps.empty());
+  // Bootstrap chunk: packet 0's head in the collision with the larger
+  // interference-free stretch.
+  EXPECT_EQ(r.steps[0].packet, 0u);
+  EXPECT_EQ(r.steps[0].k0, 0u);
+}
+
+TEST(Scheduler, IdenticalOffsetsFail) {
+  // Same offsets in both collisions: the linear system is singular.
+  Pattern p;
+  p.lengths = {100, 100};
+  p.collisions = {{{0, 0}, {1, 40}}, {{0, 0}, {1, 40}}};
+  const auto r = greedy_schedule(p);
+  EXPECT_FALSE(r.complete);
+  EXPECT_FALSE(pairwise_condition_holds(p));
+}
+
+TEST(Scheduler, SingleCollisionOnlyOverhangs) {
+  // One collision: only the interference-free head and tail decode.
+  Pattern p;
+  p.lengths = {100, 100};
+  p.collisions = {{{0, 0}, {1, 40}}};
+  const auto r = greedy_schedule(p);
+  EXPECT_FALSE(r.complete);
+  // Packet 0's head [0,40) and packet 1's tail [60,100) are decodable.
+  std::size_t head = 0, tail = 0;
+  for (const auto& s : r.steps) {
+    if (s.packet == 0 && s.k0 == 0) head = s.k1;
+    if (s.packet == 1 && s.k1 == 100) tail = s.k0;
+  }
+  EXPECT_EQ(head, 40u);
+  EXPECT_EQ(tail, 60u);
+}
+
+TEST(Scheduler, FlippedOrder) {
+  // Fig 4-1(b): packets change order between collisions.
+  Pattern p;
+  p.lengths = {100, 100};
+  p.collisions = {{{0, 0}, {1, 35}}, {{1, 0}, {0, 55}}};
+  EXPECT_TRUE(greedy_schedule(p).complete);
+}
+
+TEST(Scheduler, DifferentSizes) {
+  // Fig 4-1(c): different packet sizes.
+  Pattern p;
+  p.lengths = {150, 60};
+  p.collisions = {{{0, 0}, {1, 20}}, {{0, 0}, {1, 90}}};
+  EXPECT_TRUE(greedy_schedule(p).complete);
+}
+
+TEST(Scheduler, ThreeCollisionsThreeSenders) {
+  // Fig 4-6(a).
+  Pattern p;
+  p.lengths = {100, 100, 100};
+  p.collisions = {{{0, 0}, {1, 20}, {2, 50}},
+                  {{0, 0}, {1, 60}, {2, 20}},
+                  {{0, 0}, {1, 40}, {2, 80}}};
+  EXPECT_TRUE(pairwise_condition_holds(p));
+  EXPECT_TRUE(greedy_schedule(p).complete);
+}
+
+TEST(Scheduler, FourPacketChainOfPairwiseCollisions) {
+  // Fig 6-1(b): four packets, four collisions, never more than two at a
+  // time; decodable by the same greedy principle.
+  Pattern p;
+  p.lengths = {100, 100, 100, 100};
+  p.collisions = {{{0, 0}, {1, 30}},
+                  {{1, 0}, {2, 45}},
+                  {{2, 0}, {3, 25}},
+                  {{3, 0}, {0, 60}}};
+  EXPECT_TRUE(greedy_schedule(p).complete);
+}
+
+TEST(Scheduler, GuardShrinksChunks) {
+  Pattern p;
+  p.lengths = {100, 100};
+  p.collisions = {{{0, 0}, {1, 30}}, {{0, 0}, {1, 70}}};
+  const auto r = greedy_schedule(p, 4);
+  EXPECT_TRUE(r.complete);         // still decodable,
+  const auto r0 = greedy_schedule(p, 0);
+  EXPECT_GE(r.steps.size(), r0.steps.size());  // in no fewer chunks
+}
+
+TEST(Scheduler, PairwiseConditionVacuousWhenApart) {
+  // A packet appearing alone in some collision breaks ties trivially.
+  Pattern p;
+  p.lengths = {100, 100};
+  p.collisions = {{{0, 0}, {1, 40}}, {{1, 0}}};
+  EXPECT_TRUE(pairwise_condition_holds(p));
+  EXPECT_TRUE(greedy_schedule(p).complete);
+}
+
+// ---------------------------------------------------------------------------
+// Waveform-level fixtures.
+// ---------------------------------------------------------------------------
+
+struct Party {
+  phy::TxFrame frame;
+  chan::ChannelParams channel;
+  phy::SenderProfile profile;
+};
+
+// A sender with a synthesized profile as association would have produced:
+// the coarse frequency offset is the truth plus oscillator jitter, and the
+// ISI estimate is the true filter (associate() is tested separately).
+Party make_party(Rng& rng, std::uint8_t id, std::uint16_t seq,
+                 std::size_t payload_bytes, double snr_db,
+                 Modulation mod = Modulation::BPSK, bool enable_isi = true,
+                 double freq_jitter = 1e-5) {
+  Party p;
+  phy::FrameHeader h;
+  h.sender_id = id;
+  h.seq = seq;
+  h.payload_mod = mod;
+  h.payload_bytes = static_cast<std::uint16_t>(payload_bytes);
+  p.frame = phy::build_frame(h, rng.bytes(payload_bytes));
+
+  chan::ImpairmentConfig icfg;
+  icfg.snr_db = snr_db;
+  icfg.freq_offset_max = 2e-3;
+  icfg.enable_isi = enable_isi;
+  p.channel = chan::random_channel(rng, icfg);
+
+  p.profile.id = id;
+  p.profile.freq_offset =
+      p.channel.freq_offset + rng.uniform(-freq_jitter, freq_jitter);
+  p.profile.snr_db = snr_db;
+  p.profile.mod = mod;
+  if (enable_isi) {
+    p.profile.isi = p.channel.isi;
+    p.profile.equalizer = p.channel.isi.inverse(7, 3);
+  }
+  return p;
+}
+
+Detection detect_at(const CVec& rx, std::ptrdiff_t origin,
+                    const phy::SenderProfile& prof, int profile_index) {
+  const auto pe = phy::estimate_at_peak(rx, static_cast<std::size_t>(origin),
+                                        prof.freq_offset);
+  Detection d;
+  d.origin = pe.origin;
+  d.mu = pe.mu;
+  d.h = pe.h;
+  d.freq_offset = prof.freq_offset;
+  d.metric = pe.metric;
+  d.profile_index = profile_index;
+  return d;
+}
+
+// Build the canonical hidden-terminal experiment: two packets collide twice
+// at sample offsets (d1, d2) for the second sender.
+struct PairScenario {
+  emu::Reception c1, c2;
+  Party alice, bob;
+  std::vector<phy::SenderProfile> profiles;
+  CollisionInput in1, in2;
+};
+
+PairScenario make_pair_scenario(Rng& rng, std::size_t payload, double snr_db,
+                                std::ptrdiff_t d1, std::ptrdiff_t d2,
+                                bool enable_isi = true,
+                                double freq_jitter = 1e-5,
+                                Modulation mod = Modulation::BPSK) {
+  PairScenario s;
+  s.alice = make_party(rng, 1, 100, payload, snr_db, mod, enable_isi, freq_jitter);
+  s.bob = make_party(rng, 2, 200, payload, snr_db, mod, enable_isi, freq_jitter);
+
+  s.c1 = emu::CollisionBuilder()
+             .lead(64)
+             .add(s.alice.frame, s.alice.channel, 0)
+             .add(s.bob.frame, s.bob.channel, d1)
+             .build(rng);
+  auto a2 = chan::retransmission_channel(rng, s.alice.channel, 0.0);
+  auto b2 = chan::retransmission_channel(rng, s.bob.channel, 0.0);
+  const auto alice_retx = phy::with_retry(s.alice.frame, true);
+  const auto bob_retx = phy::with_retry(s.bob.frame, true);
+  s.c2 = emu::CollisionBuilder()
+             .lead(64)
+             .add(alice_retx, a2, 0)
+             .add(bob_retx, b2, d2)
+             .build(rng);
+
+  s.profiles = {s.alice.profile, s.bob.profile};
+
+  s.in1.samples = &s.c1.samples;
+  s.in1.is_retransmission = false;
+  s.in1.placements = {
+      {0, detect_at(s.c1.samples, s.c1.truth[0].start, s.alice.profile, 0)},
+      {1, detect_at(s.c1.samples, s.c1.truth[1].start, s.bob.profile, 1)}};
+  s.in2.samples = &s.c2.samples;
+  s.in2.is_retransmission = true;
+  s.in2.placements = {
+      {0, detect_at(s.c2.samples, s.c2.truth[0].start, s.alice.profile, 0)},
+      {1, detect_at(s.c2.samples, s.c2.truth[1].start, s.bob.profile, 1)}};
+  return s;
+}
+
+double packet_ber(const phy::TxFrame& truth, const PacketResult& r) {
+  if (!r.header_ok) return 1.0;
+  // The decoder reports whichever retry-flag variant it decoded; score
+  // against the matching variant (the copies differ only in that flag and
+  // the header checksum bits it feeds, §4.2.2).
+  const phy::TxFrame& ref = truth.header.retry == r.header.retry
+                                ? truth
+                                : phy::with_retry(truth, r.header.retry);
+  return bit_error_rate(ref.air_bits(), r.air_bits);
+}
+
+// The paper's delivery criterion (§5.1f): a packet counts as correctly
+// received when its uncoded BER is below 1e-3 (practical channel codes then
+// deliver it error-free; our prototype, like the paper's, sends uncoded).
+::testing::AssertionResult delivered(const phy::TxFrame& truth,
+                                     const PacketResult& r) {
+  if (!r.header_ok) return ::testing::AssertionFailure() << "header not decoded";
+  const double ber = packet_ber(truth, r);
+  if (ber < 1e-3) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "BER " << ber;
+}
+
+// ---------------------------------------------------------------------------
+// Detector and matcher.
+// ---------------------------------------------------------------------------
+
+TEST(Detector, FindsBothPacketStarts) {
+  Rng rng(21);
+  auto s = make_pair_scenario(rng, 200, 12.0, 150, 420);
+  const CollisionDetector det;
+  const auto found = det.detect(s.c1.samples, s.profiles);
+  ASSERT_GE(found.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(found[0].origin),
+              static_cast<double>(s.c1.truth[0].start), 2.0);
+  EXPECT_NEAR(static_cast<double>(found[1].origin),
+              static_cast<double>(s.c1.truth[1].start), 2.0);
+}
+
+TEST(Detector, NoDetectionsOnNoise) {
+  Rng rng(22);
+  CVec noise(4000);
+  for (auto& v : noise) v = rng.gaussian_c(1.0);
+  phy::SenderProfile prof;
+  prof.snr_db = 10.0;
+  const CollisionDetector det;
+  EXPECT_TRUE(det.detect(noise, {&prof, 1}).empty());
+}
+
+TEST(Detector, CorrelationProfileSpikesAtSecondPacket) {
+  // Fig 4-2: the correlation spikes in the middle of the reception where
+  // the colliding packet starts.
+  Rng rng(23);
+  auto s = make_pair_scenario(rng, 200, 12.0, 300, 500);
+  const CollisionDetector det;
+  const auto prof = det.correlation_profile(s.c1.samples,
+                                            s.bob.profile.freq_offset);
+  // The spike at Bob's start dominates the median level by a wide margin.
+  const std::size_t bob_start = static_cast<std::size_t>(s.c1.truth[1].start);
+  double spike = 0.0;
+  for (std::size_t i = bob_start - 3; i <= bob_start + 3; ++i)
+    spike = std::max(spike, prof[i]);
+  std::vector<double> sorted = prof;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  EXPECT_GT(spike, 3.5 * median);
+}
+
+TEST(Matcher, SamePacketMatchesAcrossCollisions) {
+  Rng rng(24);
+  auto s = make_pair_scenario(rng, 300, 10.0, 150, 400);
+  const auto score = match_same_packet(s.c1.samples, s.c1.truth[1].start,
+                                       s.c2.samples, s.c2.truth[1].start);
+  EXPECT_TRUE(score.matched);
+  EXPECT_GT(score.score, 0.3);
+}
+
+TEST(Matcher, DifferentPacketsDoNotMatch) {
+  Rng rng(25);
+  auto s1 = make_pair_scenario(rng, 300, 10.0, 150, 400);
+  auto s2 = make_pair_scenario(rng, 300, 10.0, 150, 400);
+  const auto score = match_same_packet(s1.c1.samples, s1.c1.truth[1].start,
+                                       s2.c1.samples, s2.c1.truth[1].start);
+  EXPECT_FALSE(score.matched);
+}
+
+// ---------------------------------------------------------------------------
+// Full decoder.
+// ---------------------------------------------------------------------------
+
+TEST(Decoder, DecodesClassicHiddenTerminalPair) {
+  Rng rng(31);
+  auto s = make_pair_scenario(rng, 300, 10.0, 160, 420);
+  const ZigZagDecoder dec;
+  const CollisionInput inputs[2] = {s.in1, s.in2};
+  const auto res = dec.decode({inputs, 2}, s.profiles, 2);
+  ASSERT_EQ(res.packets.size(), 2u);
+  EXPECT_TRUE(delivered(s.alice.frame, res.packets[0]));
+  EXPECT_TRUE(delivered(s.bob.frame, res.packets[1]));
+  if (res.packets[0].crc_ok) EXPECT_EQ(res.packets[0].payload, s.alice.frame.payload);
+  if (res.packets[1].crc_ok) EXPECT_EQ(res.packets[1].payload, s.bob.frame.payload);
+}
+
+TEST(Decoder, SmallOffsetDifference) {
+  // Offsets differing by only a few symbols still decode (stall-breaker +
+  // exponential error decay + refinement).
+  Rng rng(32);
+  auto s = make_pair_scenario(rng, 200, 12.0, 200, 216);
+  const ZigZagDecoder dec;
+  const CollisionInput inputs[2] = {s.in1, s.in2};
+  const auto res = dec.decode({inputs, 2}, s.profiles, 2);
+  EXPECT_TRUE(delivered(s.alice.frame, res.packets[0]));
+  EXPECT_TRUE(delivered(s.bob.frame, res.packets[1]));
+}
+
+TEST(Decoder, FlippedOrderPattern) {
+  // Fig 4-1(b): Bob first in the second collision.
+  Rng rng(33);
+  auto alice = make_party(rng, 1, 11, 250, 11.0);
+  auto bob = make_party(rng, 2, 22, 250, 11.0);
+  auto c1 = emu::CollisionBuilder()
+                .lead(64)
+                .add(alice.frame, alice.channel, 0)
+                .add(bob.frame, bob.channel, 180)
+                .build(rng);
+  auto a2 = chan::retransmission_channel(rng, alice.channel, 0.0);
+  auto b2 = chan::retransmission_channel(rng, bob.channel, 0.0);
+  auto c2 = emu::CollisionBuilder()
+                .lead(64)
+                .add(phy::with_retry(bob.frame, true), b2, 0)
+                .add(phy::with_retry(alice.frame, true), a2, 240)
+                .build(rng);
+
+  std::vector<phy::SenderProfile> profiles{alice.profile, bob.profile};
+  CollisionInput in1, in2;
+  in1.samples = &c1.samples;
+  in1.placements = {
+      {0, detect_at(c1.samples, c1.truth[0].start, alice.profile, 0)},
+      {1, detect_at(c1.samples, c1.truth[1].start, bob.profile, 1)}};
+  in2.samples = &c2.samples;
+  in2.is_retransmission = true;
+  in2.placements = {
+      {1, detect_at(c2.samples, c2.truth[0].start, bob.profile, 1)},
+      {0, detect_at(c2.samples, c2.truth[1].start, alice.profile, 0)}};
+
+  const ZigZagDecoder dec;
+  const CollisionInput inputs[2] = {in1, in2};
+  const auto res = dec.decode({inputs, 2}, profiles, 2);
+  EXPECT_TRUE(delivered(alice.frame, res.packets[0]));
+  EXPECT_TRUE(delivered(bob.frame, res.packets[1]));
+}
+
+TEST(Decoder, DifferentPacketSizes) {
+  // Fig 4-1(c).
+  Rng rng(34);
+  auto alice = make_party(rng, 1, 11, 400, 11.0);
+  auto bob = make_party(rng, 2, 22, 150, 11.0);
+  auto c1 = emu::CollisionBuilder()
+                .lead(64)
+                .add(alice.frame, alice.channel, 0)
+                .add(bob.frame, bob.channel, 200)
+                .build(rng);
+  auto a2 = chan::retransmission_channel(rng, alice.channel, 0.0);
+  auto b2 = chan::retransmission_channel(rng, bob.channel, 0.0);
+  auto c2 = emu::CollisionBuilder()
+                .lead(64)
+                .add(phy::with_retry(alice.frame, true), a2, 0)
+                .add(phy::with_retry(bob.frame, true), b2, 520)
+                .build(rng);
+
+  std::vector<phy::SenderProfile> profiles{alice.profile, bob.profile};
+  CollisionInput in1, in2;
+  in1.samples = &c1.samples;
+  in1.placements = {
+      {0, detect_at(c1.samples, c1.truth[0].start, alice.profile, 0)},
+      {1, detect_at(c1.samples, c1.truth[1].start, bob.profile, 1)}};
+  in2.samples = &c2.samples;
+  in2.is_retransmission = true;
+  in2.placements = {
+      {0, detect_at(c2.samples, c2.truth[0].start, alice.profile, 0)},
+      {1, detect_at(c2.samples, c2.truth[1].start, bob.profile, 1)}};
+
+  const ZigZagDecoder dec;
+  const CollisionInput inputs[2] = {in1, in2};
+  const auto res = dec.decode({inputs, 2}, profiles, 2);
+  EXPECT_TRUE(delivered(alice.frame, res.packets[0]));
+  EXPECT_TRUE(delivered(bob.frame, res.packets[1]));
+}
+
+TEST(Decoder, CaptureEffectSingleCollision) {
+  // Fig 4-1(e): Alice far stronger — interference cancellation on a single
+  // collision decodes both.
+  Rng rng(35);
+  auto alice = make_party(rng, 1, 11, 200, 24.0);
+  auto bob = make_party(rng, 2, 22, 200, 10.0);
+  auto c1 = emu::CollisionBuilder()
+                .lead(64)
+                .add(alice.frame, alice.channel, 0)
+                .add(bob.frame, bob.channel, 130)
+                .build(rng);
+  std::vector<phy::SenderProfile> profiles{alice.profile, bob.profile};
+  CollisionInput in1;
+  in1.samples = &c1.samples;
+  in1.placements = {
+      {0, detect_at(c1.samples, c1.truth[0].start, alice.profile, 0)},
+      {1, detect_at(c1.samples, c1.truth[1].start, bob.profile, 1)}};
+
+  const ZigZagDecoder dec;
+  const auto res = dec.decode({&in1, 1}, profiles, 2);
+  EXPECT_TRUE(delivered(alice.frame, res.packets[0]));  // captured directly
+  EXPECT_TRUE(delivered(bob.frame, res.packets[1]));  // after cancellation
+}
+
+TEST(Decoder, CollisionPlusCleanRetransmission) {
+  // Fig 4-1(f): Bob's packet is collision-free in the retransmission; the
+  // receiver decodes it, subtracts it from the collision, and gets Alice.
+  Rng rng(36);
+  auto alice = make_party(rng, 1, 11, 200, 10.0);
+  auto bob = make_party(rng, 2, 22, 200, 10.0);
+  auto c1 = emu::CollisionBuilder()
+                .lead(64)
+                .add(alice.frame, alice.channel, 0)
+                .add(bob.frame, bob.channel, 150)
+                .build(rng);
+  auto b2 = chan::retransmission_channel(rng, bob.channel, 0.0);
+  auto c2 = emu::CollisionBuilder()
+                .lead(64)
+                .add(phy::with_retry(bob.frame, true), b2, 0)
+                .build(rng);
+
+  std::vector<phy::SenderProfile> profiles{alice.profile, bob.profile};
+  CollisionInput in1, in2;
+  in1.samples = &c1.samples;
+  in1.placements = {
+      {0, detect_at(c1.samples, c1.truth[0].start, alice.profile, 0)},
+      {1, detect_at(c1.samples, c1.truth[1].start, bob.profile, 1)}};
+  in2.samples = &c2.samples;
+  in2.is_retransmission = true;
+  in2.placements = {
+      {1, detect_at(c2.samples, c2.truth[0].start, bob.profile, 1)}};
+
+  const ZigZagDecoder dec;
+  const CollisionInput inputs[2] = {in1, in2};
+  const auto res = dec.decode({inputs, 2}, profiles, 2);
+  EXPECT_TRUE(delivered(bob.frame, res.packets[1]));
+  EXPECT_TRUE(delivered(alice.frame, res.packets[0]));
+}
+
+TEST(Decoder, ThreeSendersThreeCollisions) {
+  // §4.5 / Fig 4-6(a) with real waveforms.
+  Rng rng(37);
+  Party p[3] = {make_party(rng, 1, 11, 150, 12.0),
+                make_party(rng, 2, 22, 150, 12.0),
+                make_party(rng, 3, 33, 150, 12.0)};
+  const std::ptrdiff_t offs[3][3] = {{0, 140, 420}, {0, 500, 180}, {0, 320, 640}};
+  emu::Reception rec[3];
+  for (int c = 0; c < 3; ++c) {
+    emu::CollisionBuilder b;
+    b.lead(64);
+    for (int i = 0; i < 3; ++i) {
+      auto ch = c == 0 ? p[i].channel
+                       : chan::retransmission_channel(rng, p[i].channel, 0.0);
+      b.add(c == 0 ? p[i].frame : phy::with_retry(p[i].frame, true), ch,
+            offs[c][i]);
+    }
+    rec[c] = b.build(rng);
+  }
+  std::vector<phy::SenderProfile> profiles{p[0].profile, p[1].profile,
+                                           p[2].profile};
+  CollisionInput inputs[3];
+  for (int c = 0; c < 3; ++c) {
+    inputs[c].samples = &rec[c].samples;
+    inputs[c].is_retransmission = c > 0;
+    for (int i = 0; i < 3; ++i)
+      inputs[c].placements.push_back(
+          {static_cast<std::size_t>(i),
+           detect_at(rec[c].samples, rec[c].truth[i].start, p[i].profile, i)});
+  }
+  const ZigZagDecoder dec;
+  const auto res = dec.decode({inputs, 3}, profiles, 3);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(delivered(p[i].frame, res.packets[i])) << "packet " << i;
+}
+
+TEST(Decoder, IdenticalOffsetsCannotDecode) {
+  Rng rng(38);
+  auto s = make_pair_scenario(rng, 200, 10.0, 300, 300);
+  const ZigZagDecoder dec;
+  const CollisionInput inputs[2] = {s.in1, s.in2};
+  const auto res = dec.decode({inputs, 2}, s.profiles, 2);
+  EXPECT_FALSE(res.all_crc_ok());
+}
+
+TEST(Decoder, TrackingAblationFailsOnLongPackets) {
+  // Table 5.1: without §4.2.4(b,c) tracking, residual frequency error makes
+  // the reconstructed images rotate away from the received signal and long
+  // packets become undecodable.
+  Rng rng(39);
+  auto s = make_pair_scenario(rng, 1500, 12.0, 400, 1100, true, 4e-5);
+  DecodeOptions opt;
+  opt.reconstruction_tracking = false;
+  const ZigZagDecoder no_tracking(opt);
+  const ZigZagDecoder with_tracking;
+  const CollisionInput inputs[2] = {s.in1, s.in2};
+  const auto off = no_tracking.decode({inputs, 2}, s.profiles, 2);
+  const auto on = with_tracking.decode({inputs, 2}, s.profiles, 2);
+  EXPECT_TRUE(delivered(s.alice.frame, on.packets[0]));
+  EXPECT_TRUE(delivered(s.bob.frame, on.packets[1]));
+  const double ber_off = 0.5 * (packet_ber(s.alice.frame, off.packets[0]) +
+                                packet_ber(s.bob.frame, off.packets[1]));
+  const double ber_on = 0.5 * (packet_ber(s.alice.frame, on.packets[0]) +
+                               packet_ber(s.bob.frame, on.packets[1]));
+  EXPECT_GT(ber_off, 10.0 * std::max(ber_on, 1e-5));
+}
+
+TEST(Decoder, ForwardBackwardBeatsForwardOnly) {
+  // §4.3(b): every bit is received twice; MRC over both receptions lowers
+  // the BER below a single pass.
+  Rng rng(40);
+  double err_fwd = 0.0, err_both = 0.0;
+  for (int trial = 0; trial < 6; ++trial) {
+    auto s = make_pair_scenario(rng, 300, 6.5, 160, 420);
+    DecodeOptions fwd_only;
+    fwd_only.backward_pass = false;
+    fwd_only.refinement_passes = 0;
+    const CollisionInput inputs[2] = {s.in1, s.in2};
+    const auto a = ZigZagDecoder(fwd_only).decode({inputs, 2}, s.profiles, 2);
+    const auto b = ZigZagDecoder().decode({inputs, 2}, s.profiles, 2);
+    err_fwd += packet_ber(s.alice.frame, a.packets[0]) +
+               packet_ber(s.bob.frame, a.packets[1]);
+    err_both += packet_ber(s.alice.frame, b.packets[0]) +
+                packet_ber(s.bob.frame, b.packets[1]);
+  }
+  EXPECT_LE(err_both, err_fwd);
+}
+
+TEST(Decoder, QpskCollisionsDecode) {
+  // §4.2.3(a): the decoder is modulation-agnostic.
+  Rng rng(41);
+  auto s = make_pair_scenario(rng, 200, 16.0, 160, 420, true, 1e-5,
+                              Modulation::QPSK);
+  const ZigZagDecoder dec;
+  const CollisionInput inputs[2] = {s.in1, s.in2};
+  const auto res = dec.decode({inputs, 2}, s.profiles, 2);
+  EXPECT_TRUE(delivered(s.alice.frame, res.packets[0]));
+  EXPECT_TRUE(delivered(s.bob.frame, res.packets[1]));
+}
+
+TEST(Decoder, MixedModulationCollision) {
+  // Two colliding packets may use different bit rates (§4.2.3a).
+  Rng rng(42);
+  auto alice = make_party(rng, 1, 11, 200, 11.0, Modulation::BPSK);
+  auto bob = make_party(rng, 2, 22, 150, 18.0, Modulation::QPSK);
+  auto c1 = emu::CollisionBuilder()
+                .lead(64)
+                .add(alice.frame, alice.channel, 0)
+                .add(bob.frame, bob.channel, 170)
+                .build(rng);
+  auto a2 = chan::retransmission_channel(rng, alice.channel, 0.0);
+  auto b2 = chan::retransmission_channel(rng, bob.channel, 0.0);
+  auto c2 = emu::CollisionBuilder()
+                .lead(64)
+                .add(phy::with_retry(alice.frame, true), a2, 0)
+                .add(phy::with_retry(bob.frame, true), b2, 450)
+                .build(rng);
+  std::vector<phy::SenderProfile> profiles{alice.profile, bob.profile};
+  CollisionInput in1, in2;
+  in1.samples = &c1.samples;
+  in1.placements = {
+      {0, detect_at(c1.samples, c1.truth[0].start, alice.profile, 0)},
+      {1, detect_at(c1.samples, c1.truth[1].start, bob.profile, 1)}};
+  in2.samples = &c2.samples;
+  in2.is_retransmission = true;
+  in2.placements = {
+      {0, detect_at(c2.samples, c2.truth[0].start, alice.profile, 0)},
+      {1, detect_at(c2.samples, c2.truth[1].start, bob.profile, 1)}};
+  const ZigZagDecoder dec;
+  const CollisionInput inputs[2] = {in1, in2};
+  const auto res = dec.decode({inputs, 2}, profiles, 2);
+  EXPECT_TRUE(delivered(alice.frame, res.packets[0]));
+  EXPECT_TRUE(delivered(bob.frame, res.packets[1]));
+}
+
+// ---------------------------------------------------------------------------
+// Receiver pipeline (§5.1d).
+// ---------------------------------------------------------------------------
+
+TEST(Receiver, CleanPacketDeliveredImmediately) {
+  Rng rng(51);
+  auto alice = make_party(rng, 1, 7, 200, 12.0);
+  const CVec rx = chan::clean_reception(rng, alice.frame.symbols,
+                                        alice.channel);
+  ZigZagReceiver receiver;
+  receiver.add_client(alice.profile);
+  const auto out = receiver.receive(rx);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, alice.frame.payload);
+  EXPECT_FALSE(out[0].via_pair);
+}
+
+TEST(Receiver, CollisionPairResolvedAcrossReceptions) {
+  Rng rng(52);
+  auto s = make_pair_scenario(rng, 250, 14.0, 170, 430);
+  ZigZagReceiver receiver;
+  receiver.add_client(s.alice.profile);
+  receiver.add_client(s.bob.profile);
+
+  const auto first = receiver.receive(s.c1.samples);
+  EXPECT_TRUE(first.empty());  // stored, undecodable alone
+  EXPECT_EQ(receiver.pending_collisions(), 1u);
+
+  const auto second = receiver.receive(s.c2.samples);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_TRUE(second[0].via_pair);
+  EXPECT_TRUE(second[1].via_pair);
+  EXPECT_EQ(receiver.pending_collisions(), 0u);
+
+  // Score as the paper does: delivery = BER below 1e-3 against the truth.
+  for (const auto& d : second) {
+    const auto& truth =
+        d.header.sender_id == 1 ? s.alice.frame : s.bob.frame;
+    const phy::TxFrame& ref = truth.header.retry == d.header.retry
+                                  ? truth
+                                  : phy::with_retry(truth, d.header.retry);
+    EXPECT_LT(bit_error_rate(ref.air_bits(), d.air_bits), 1e-3);
+    if (d.crc_ok) EXPECT_EQ(d.payload, truth.payload);
+  }
+}
+
+TEST(Receiver, UnrelatedCollisionsNotMatched) {
+  Rng rng(53);
+  auto s1 = make_pair_scenario(rng, 250, 11.0, 170, 430);
+  auto s2 = make_pair_scenario(rng, 250, 11.0, 210, 380);
+  ZigZagReceiver receiver;
+  receiver.add_client(s1.alice.profile);
+  receiver.add_client(s1.bob.profile);
+  EXPECT_TRUE(receiver.receive(s1.c1.samples).empty());
+  // A collision of two *different* packets must not pair with the stored one.
+  const auto out = receiver.receive(s2.c1.samples);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(receiver.pending_collisions(), 2u);
+}
+
+}  // namespace
+}  // namespace zz::zigzag

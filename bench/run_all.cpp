@@ -1,0 +1,198 @@
+// Bench driver: runs the paper-reproduction benches that live next to this
+// binary and emits a machine-readable BENCH_decoder.json baseline.
+//
+// Usage:
+//   run_all [--all] [--quick | --full] [--bin-dir <dir>] [--out <file>]
+//
+// The default set (table_5_1_micro, fig_5_3_ber) is the decoder baseline
+// the ROADMAP's perf trajectory tracks; --all additionally runs every other
+// fig_*/table_*/lemma_* bench. Each bench's stdout is captured verbatim
+// into the JSON together with its wall-clock time, so later PRs can diff
+// both the numbers and the cost of producing them.
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchRun {
+  std::string name;
+  int exit_code = -1;
+  double wall_ms = 0.0;
+  std::vector<std::string> stdout_lines;
+};
+
+// The committed baseline subset (satellite: "table_5_1_micro + fig_5_3_ber").
+const char* const kBaselineBenches[] = {"table_5_1_micro", "fig_5_3_ber"};
+
+// The remaining plain-main benches, run only under --all. complexity is
+// excluded: it is a Google Benchmark binary with its own JSON emitter.
+const char* const kExtraBenches[] = {
+    "error_propagation", "fig_4_2_correlation",  "fig_4_7_greedy_failure",
+    "fig_5_2_tracking_isi", "fig_5_4_capture",   "fig_5_5_throughput_cdf",
+    "fig_5_6_loss_cdf",   "fig_5_7_scatter",     "fig_5_8_hidden_loss",
+    "fig_5_9_three_senders", "lemma_4_4_1_ack"};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+BenchRun run_bench(const std::string& bin_dir, const std::string& name) {
+  BenchRun r;
+  r.name = name;
+  // Merge stderr into the captured stream so failures are visible in the
+  // baseline file, not lost to the console. bin_dir is single-quoted so
+  // spaces/metacharacters in the path survive the shell.
+  const std::string cmd = "'" + bin_dir + "/" + name + "' 2>&1";
+  const auto t0 = std::chrono::steady_clock::now();
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) {
+    r.exit_code = 127;
+    r.stdout_lines.push_back("run_all: failed to spawn " + cmd);
+    return r;
+  }
+  std::string line;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, pipe)) {
+    line += buf;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      r.stdout_lines.push_back(line);
+      line.clear();
+    }
+  }
+  if (!line.empty()) r.stdout_lines.push_back(line);
+  const int status = pclose(pipe);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (status < 0) {
+    r.exit_code = status;
+  } else if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    // Shell convention: a bench killed by a signal must not read as a pass.
+    r.exit_code = 128 + WTERMSIG(status);
+  } else {
+    r.exit_code = -1;
+  }
+  return r;
+}
+
+void write_json(const std::string& path, const std::string& scale,
+                const std::vector<BenchRun>& runs) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "run_all: cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"zz-bench-baseline-v1\",\n");
+  std::fprintf(f, "  \"scale\": \"%s\",\n", scale.c_str());
+  std::fprintf(f, "  \"benches\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", json_escape(r.name).c_str());
+    std::fprintf(f, "      \"exit_code\": %d,\n", r.exit_code);
+    std::fprintf(f, "      \"wall_ms\": %.1f,\n", r.wall_ms);
+    std::fprintf(f, "      \"stdout\": [\n");
+    for (std::size_t j = 0; j < r.stdout_lines.size(); ++j) {
+      std::fprintf(f, "        \"%s\"%s\n", json_escape(r.stdout_lines[j]).c_str(),
+                   j + 1 < r.stdout_lines.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n");
+    std::fprintf(f, "    }%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+std::string dir_of(const char* argv0) {
+  std::string s(argv0);
+  const auto slash = s.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : s.substr(0, slash);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all = false;
+  std::string scale = "default";
+  std::string bin_dir = dir_of(argv[0]);
+  std::string out = "BENCH_decoder.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--all") {
+      all = true;
+    } else if (a == "--quick") {
+      scale = "quick";
+    } else if (a == "--full") {
+      scale = "full";
+    } else if (a == "--bin-dir" && i + 1 < argc) {
+      bin_dir = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--all] [--quick|--full] [--bin-dir <dir>] "
+                   "[--out <file>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // The benches read ZZ_QUICK / ZZ_FULL themselves (bench_util.h); the
+  // driver just forwards the requested scale through the environment.
+  if (scale == "quick") setenv("ZZ_QUICK", "1", 1);
+  if (scale == "full") setenv("ZZ_FULL", "1", 1);
+
+  std::vector<std::string> names(std::begin(kBaselineBenches),
+                                 std::end(kBaselineBenches));
+  if (all) {
+    names.insert(names.end(), std::begin(kExtraBenches),
+                 std::end(kExtraBenches));
+  }
+
+  std::vector<BenchRun> runs;
+  int failures = 0;
+  for (const auto& name : names) {
+    std::printf("run_all: %s ...\n", name.c_str());
+    std::fflush(stdout);
+    runs.push_back(run_bench(bin_dir, name));
+    const auto& r = runs.back();
+    std::printf("run_all: %s exit=%d wall=%.0f ms\n", name.c_str(), r.exit_code,
+                r.wall_ms);
+    if (r.exit_code != 0) ++failures;
+  }
+
+  write_json(out, scale, runs);
+  std::printf("run_all: wrote %s (%zu benches, %d failed)\n", out.c_str(),
+              runs.size(), failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verify, executable form. Runs the exact ROADMAP recipe from a clean
+# tree, then smoke-runs the bench driver so the BENCH_*.json path stays live.
+#
+#   ./ci.sh            # clean configure + build + ctest + bench smoke
+#   ZZ_KEEP_BUILD=1 ./ci.sh   # reuse an existing build directory
+set -euo pipefail
+cd "$(dirname "$0")"
+
+if [[ -z "${ZZ_KEEP_BUILD:-}" ]]; then
+  rm -rf build
+fi
+
+# --- Tier-1 (ROADMAP.md recipe; -j given a value for older ctest) ---
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+# --- Bench harness smoke: driver must emit a machine-readable baseline ---
+./build/bench/run_all --quick --out build/BENCH_decoder.json
+test -s build/BENCH_decoder.json
+
+echo "ci.sh: tier-1 green, bench baseline written to build/BENCH_decoder.json"

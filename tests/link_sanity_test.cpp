@@ -1,0 +1,41 @@
+// Link-sanity guard for the receiver.cpp basename collision.
+//
+// src/phy/receiver.cpp and src/zigzag/receiver.cpp share a basename. A
+// naive flat build (all objects in one directory, one `ar` archive) lets
+// one object silently overwrite the other, dropping every symbol of
+// zz::phy::StandardReceiver / estimate_at_peak and breaking 4 of the 9
+// suites at link time. CMake keeps per-target object directories, so both
+// survive — this TU references symbols that live in each file so any
+// regression to a flat layout fails here first, at link, with a clear
+// culprit.
+#include <gtest/gtest.h>
+
+#include "zz/phy/receiver.h"
+#include "zz/zigzag/receiver.h"
+
+namespace {
+
+TEST(LinkSanity, PhyReceiverSymbolsPresent) {
+  const zz::phy::StandardReceiver rx;
+  EXPECT_GT(rx.config().preamble_len, 0u);
+
+  auto* estimate = &zz::phy::estimate_at_peak;
+  auto* noise = &zz::phy::estimate_noise_floor;
+  EXPECT_NE(reinterpret_cast<void*>(estimate), nullptr);
+  EXPECT_NE(reinterpret_cast<void*>(noise), nullptr);
+}
+
+TEST(LinkSanity, ZigZagReceiverSymbolsPresent) {
+  zz::zigzag::ZigZagReceiver rx;
+  EXPECT_EQ(rx.pending_collisions(), 0u);
+  EXPECT_TRUE(rx.clients().empty());
+}
+
+TEST(LinkSanity, BothReceiversCoexistInOneImage) {
+  const zz::phy::StandardReceiver std_rx;
+  zz::zigzag::ZigZagReceiver zz_rx(zz::zigzag::ReceiverOptions{});
+  EXPECT_GE(std_rx.config().detect_beta, 0.0);
+  EXPECT_EQ(zz_rx.receive(zz::CVec{}).size(), 0u);
+}
+
+}  // namespace

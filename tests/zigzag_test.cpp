@@ -329,8 +329,12 @@ TEST(Decoder, DecodesClassicHiddenTerminalPair) {
   ASSERT_EQ(res.packets.size(), 2u);
   EXPECT_TRUE(delivered(s.alice.frame, res.packets[0]));
   EXPECT_TRUE(delivered(s.bob.frame, res.packets[1]));
-  if (res.packets[0].crc_ok) EXPECT_EQ(res.packets[0].payload, s.alice.frame.payload);
-  if (res.packets[1].crc_ok) EXPECT_EQ(res.packets[1].payload, s.bob.frame.payload);
+  if (res.packets[0].crc_ok) {
+    EXPECT_EQ(res.packets[0].payload, s.alice.frame.payload);
+  }
+  if (res.packets[1].crc_ok) {
+    EXPECT_EQ(res.packets[1].payload, s.bob.frame.payload);
+  }
 }
 
 TEST(Decoder, SmallOffsetDifference) {
@@ -655,7 +659,9 @@ TEST(Receiver, CollisionPairResolvedAcrossReceptions) {
                                   ? truth
                                   : phy::with_retry(truth, d.header.retry);
     EXPECT_LT(bit_error_rate(ref.air_bits(), d.air_bits), 1e-3);
-    if (d.crc_ok) EXPECT_EQ(d.payload, truth.payload);
+    if (d.crc_ok) {
+      EXPECT_EQ(d.payload, truth.payload);
+    }
   }
 }
 

@@ -39,7 +39,8 @@ struct Party {
 inline Party make_party(Rng& rng, std::uint8_t id, std::uint16_t seq,
                         std::size_t payload_bytes, double snr_db,
                         phy::Modulation mod = phy::Modulation::BPSK,
-                        double freq_jitter = 2e-5) {
+                        double freq_jitter = 2e-5,
+                        double isi_strength = 0.15) {
   Party p;
   phy::FrameHeader h;
   h.sender_id = id;
@@ -50,6 +51,7 @@ inline Party make_party(Rng& rng, std::uint8_t id, std::uint16_t seq,
   chan::ImpairmentConfig icfg;
   icfg.snr_db = snr_db;
   icfg.freq_offset_max = 2e-3;
+  icfg.isi_strength = isi_strength;
   p.channel = chan::random_channel(rng, icfg);
   p.profile.id = id;
   p.profile.freq_offset =
@@ -87,10 +89,13 @@ struct PairScenario {
 
 inline PairScenario make_pair_scenario(Rng& rng, std::size_t payload,
                                        double snr_db, std::ptrdiff_t d1,
-                                       std::ptrdiff_t d2) {
+                                       std::ptrdiff_t d2,
+                                       double isi_strength = 0.15) {
   PairScenario s;
-  s.alice = make_party(rng, 1, 100, payload, snr_db);
-  s.bob = make_party(rng, 2, 200, payload, snr_db);
+  s.alice = make_party(rng, 1, 100, payload, snr_db, phy::Modulation::BPSK,
+                       2e-5, isi_strength);
+  s.bob = make_party(rng, 2, 200, payload, snr_db, phy::Modulation::BPSK,
+                     2e-5, isi_strength);
   s.c1 = emu::CollisionBuilder()
              .lead(64)
              .add(s.alice.frame, s.alice.channel, 0)

@@ -2,16 +2,23 @@
 // binary and emits a machine-readable BENCH_decoder.json baseline.
 //
 // Usage:
-//   run_all [--all] [--quick | --full] [--bin-dir <dir>] [--out <file>]
+//   run_all [--all] [--quick | --full] [--check] [--bin-dir <dir>] [--out <file>]
 //
 // The default set (table_5_1_micro, fig_5_3_ber) is the decoder baseline
 // the ROADMAP's perf trajectory tracks; --all additionally runs every other
 // fig_*/table_*/lemma_* bench. Each bench's stdout is captured verbatim
 // into the JSON together with its wall-clock time, so later PRs can diff
 // both the numbers and the cost of producing them.
+//
+// --check turns the driver into a regression gate: it parses the captured
+// tables and fails the run when the detector accuracy drifts off the
+// Table 5.1(a) operating point, the Fig 5-3 BER curve loses its
+// monotonicity (the high-SNR anomaly this repo once shipped), or a bench's
+// wall time blows past ~2.5x its recorded cost.
 #include <sys/wait.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -138,10 +145,120 @@ std::string dir_of(const char* argv0) {
   return slash == std::string::npos ? std::string(".") : s.substr(0, slash);
 }
 
+// ------------------------------------------------------------------ checks
+
+// Split a markdown-ish table row "| a | b | c |" into cell strings.
+std::vector<std::string> row_cells(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool in = false;
+  for (const char c : line) {
+    if (c == '|') {
+      if (in) {
+        while (!cur.empty() && cur.back() == ' ') cur.pop_back();
+        cells.push_back(cur);
+      }
+      cur.clear();
+      in = true;
+    } else if (in && !(cur.empty() && c == ' ')) {
+      cur += c;
+    }
+  }
+  return cells;
+}
+
+int check_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::fprintf(stderr, "run_all --check FAILED: %s\n", what.c_str());
+    ++check_failures;
+  }
+}
+
+// Table 5.1(a): the β = 0.65 row must stay at the calibrated operating
+// point. Quick runs use a quarter of the samples, so their gates carry
+// binomial slack.
+void check_table_5_1(const BenchRun& r, bool quick) {
+  const double fp_max = quick ? 15.0 : 10.0;
+  const double fn_max = quick ? 10.0 : 5.0;
+  bool seen = false;
+  for (const auto& line : r.stdout_lines) {
+    const auto cells = row_cells(line);
+    if (cells.size() != 3 || cells[0] != "0.65") continue;
+    seen = true;
+    const double fp = std::strtod(cells[1].c_str(), nullptr);
+    const double fn = std::strtod(cells[2].c_str(), nullptr);
+    check(fp <= fp_max, "table_5_1(a) beta=0.65 FP " + cells[1] +
+                            " above " + std::to_string(fp_max) + "%");
+    check(fn <= fn_max, "table_5_1(a) beta=0.65 FN " + cells[2] +
+                            " above " + std::to_string(fn_max) + "%");
+  }
+  check(seen, "table_5_1(a): beta=0.65 row not found in output");
+}
+
+// Fig 5-3: the fwd+bwd BER column must be monotonically non-increasing
+// from 5 to 12 dB (within a small slack for single-bit noise) and free of
+// the high-SNR anomaly (BER at >= 10 dB back above 5e-4).
+void check_fig_5_3(const BenchRun& r, bool quick) {
+  const double slack = quick ? 1e-3 : 5e-5;
+  const double tail_max = quick ? 2e-3 : 5e-4;
+  double prev = -1.0;
+  std::size_t rows = 0;
+  for (const auto& line : r.stdout_lines) {
+    const auto cells = row_cells(line);
+    if (cells.size() != 5) continue;
+    char* end = nullptr;
+    const double snr = std::strtod(cells[0].c_str(), &end);
+    if (end == cells[0].c_str() || snr < 5.0 || snr > 12.0) continue;
+    const double ber = std::strtod(cells[3].c_str(), nullptr);
+    ++rows;
+    if (prev >= 0.0)
+      check(ber <= prev + slack,
+            "fig_5_3 fwd+bwd BER not monotone at " + cells[0] + " dB (" +
+                cells[3] + " after " + std::to_string(prev) + ")");
+    if (snr >= 10.0)
+      check(ber <= tail_max, "fig_5_3 fwd+bwd BER " + cells[3] + " at " +
+                                 cells[0] + " dB above the high-SNR gate");
+    prev = ber;
+  }
+  check(rows == 8, "fig_5_3: expected 8 SNR rows, found " +
+                       std::to_string(rows));
+}
+
+// Wall-time guard: ~2.5x the recorded cost of each bench at the given
+// scale; a regression to the old O(N·M) correlation path trips this.
+// --full runs 4x the samples (bench_util run_scale), so its budgets scale.
+void check_wall_time(const BenchRun& r, bool quick, bool full) {
+  double budget_ms = 0.0;
+  if (r.name == "table_5_1_micro") budget_ms = quick ? 10000.0 : 20000.0;
+  if (r.name == "fig_5_3_ber") budget_ms = quick ? 6000.0 : 10000.0;
+  if (full) budget_ms *= 4.0;
+  if (budget_ms > 0.0)
+    check(r.wall_ms <= budget_ms,
+          r.name + " took " + std::to_string(r.wall_ms) + " ms (budget " +
+              std::to_string(budget_ms) + " ms)");
+}
+
+void run_checks(const std::vector<BenchRun>& runs, const std::string& scale) {
+  const bool quick = scale == "quick";
+  const bool full = scale == "full";
+  for (const auto& r : runs) {
+    check(r.exit_code == 0, r.name + " exited with " +
+                                std::to_string(r.exit_code));
+    if (r.name == "table_5_1_micro") check_table_5_1(r, quick);
+    if (r.name == "fig_5_3_ber") check_fig_5_3(r, quick);
+    check_wall_time(r, quick, full);
+  }
+  if (check_failures == 0)
+    std::printf("run_all --check: all gates green\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool all = false;
+  bool do_check = false;
   std::string scale = "default";
   std::string bin_dir = dir_of(argv[0]);
   std::string out = "BENCH_decoder.json";
@@ -150,6 +267,8 @@ int main(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "--all") {
       all = true;
+    } else if (a == "--check") {
+      do_check = true;
     } else if (a == "--quick") {
       scale = "quick";
     } else if (a == "--full") {
@@ -160,8 +279,8 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--all] [--quick|--full] [--bin-dir <dir>] "
-                   "[--out <file>]\n",
+                   "usage: %s [--all] [--quick|--full] [--check] "
+                   "[--bin-dir <dir>] [--out <file>]\n",
                    argv[0]);
       return 2;
     }
@@ -194,5 +313,6 @@ int main(int argc, char** argv) {
   write_json(out, scale, runs);
   std::printf("run_all: wrote %s (%zu benches, %d failed)\n", out.c_str(),
               runs.size(), failures);
-  return failures == 0 ? 0 : 1;
+  if (do_check) run_checks(runs, scale);
+  return failures == 0 && check_failures == 0 ? 0 : 1;
 }

@@ -1,11 +1,16 @@
 // Shared whole-testbed sweep for Figs 5-5 through 5-8: sample sender pairs
 // (plus an AP) from the synthesized 14-node topology, run each pair under
 // stock 802.11 and under ZigZag, and collect per-flow statistics.
+//
+// Pairs are embarrassingly parallel: each sampled pair runs on the shared
+// worker pool from its own RNG shard, so the sweep's statistics are
+// identical for any thread count and the wall time scales with cores.
 #pragma once
 
 #include <vector>
 
 #include "bench_util.h"
+#include "zz/common/thread_pool.h"
 #include "zz/testbed/experiment.h"
 #include "zz/testbed/topology.h"
 
@@ -26,44 +31,61 @@ struct SweepResult {
 };
 
 inline SweepResult run_testbed_sweep(std::uint64_t seed = 77) {
-  Rng rng(seed);
   testbed::ExperimentConfig cfg;
   cfg.packets_per_sender = scaled(8);
   cfg.payload_bytes = 200;
 
-  SweepResult out;
   const std::size_t want_pairs = scaled(12);
-  std::size_t sampled = 0;
-  while (sampled < want_pairs) {
-    testbed::Topology topo(rng);
-    auto pairs = topo.viable_pairs();
-    if (pairs.empty()) continue;
-    const auto& pc = pairs[static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(pairs.size()) - 1))];
-    const auto sensing = topo.sensing(pc.s1, pc.s2);
-    const double p_sense = sensing == testbed::Sensing::Full      ? 1.0
-                           : sensing == testbed::Sensing::Partial ? 0.5
-                                                                  : 0.0;
-    const double snr1 = std::min(topo.snr_db(pc.s1, pc.ap), 30.0);
-    const double snr2 = std::min(topo.snr_db(pc.s2, pc.ap), 30.0);
-    if (snr1 < 7.0 || snr2 < 7.0) continue;
 
-    const auto r11 = testbed::run_pair(
-        rng, testbed::ReceiverKind::Current80211, snr1, snr2, p_sense, cfg);
-    const auto rzz = testbed::run_pair(rng, testbed::ReceiverKind::ZigZag,
-                                       snr1, snr2, p_sense, cfg);
-    for (int i = 0; i < 2; ++i) {
-      SweepFlow f;
-      f.throughput_80211 = r11.concurrent_throughput[i];
-      f.throughput_zigzag = rzz.concurrent_throughput[i];
-      f.loss_80211 = r11.flows[i].loss_rate();
-      f.loss_zigzag = rzz.flows[i].loss_rate();
-      f.sensing = sensing;
-      out.flows.push_back(f);
+  struct PairOutcome {
+    SweepFlow flows[2];
+    double agg_80211 = 0.0;
+    double agg_zigzag = 0.0;
+  };
+  std::vector<PairOutcome> outcomes(want_pairs);
+
+  ThreadPool::shared().parallel_for(want_pairs, [&](std::size_t pi) {
+    Rng rng(shard_seed(seed, pi));
+    PairOutcome& oc = outcomes[pi];
+    for (;;) {
+      testbed::Topology topo(rng);
+      auto pairs = topo.viable_pairs();
+      if (pairs.empty()) continue;
+      const auto& pc = pairs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pairs.size()) - 1))];
+      const auto sensing = topo.sensing(pc.s1, pc.s2);
+      const double p_sense = sensing == testbed::Sensing::Full      ? 1.0
+                             : sensing == testbed::Sensing::Partial ? 0.5
+                                                                    : 0.0;
+      const double snr1 = std::min(topo.snr_db(pc.s1, pc.ap), 30.0);
+      const double snr2 = std::min(topo.snr_db(pc.s2, pc.ap), 30.0);
+      if (snr1 < 7.0 || snr2 < 7.0) continue;
+
+      const auto r11 = testbed::run_pair(
+          rng, testbed::ReceiverKind::Current80211, snr1, snr2, p_sense, cfg);
+      const auto rzz = testbed::run_pair(rng, testbed::ReceiverKind::ZigZag,
+                                         snr1, snr2, p_sense, cfg);
+      for (int i = 0; i < 2; ++i) {
+        SweepFlow f;
+        f.throughput_80211 = r11.concurrent_throughput[i];
+        f.throughput_zigzag = rzz.concurrent_throughput[i];
+        f.loss_80211 = r11.flows[i].loss_rate();
+        f.loss_zigzag = rzz.flows[i].loss_rate();
+        f.sensing = sensing;
+        oc.flows[i] = f;
+      }
+      oc.agg_80211 = r11.total_throughput();
+      oc.agg_zigzag = rzz.total_throughput();
+      return;
     }
-    out.agg_80211.push_back(r11.total_throughput());
-    out.agg_zigzag.push_back(rzz.total_throughput());
-    ++sampled;
+  });
+
+  SweepResult out;
+  for (const auto& oc : outcomes) {
+    out.flows.push_back(oc.flows[0]);
+    out.flows.push_back(oc.flows[1]);
+    out.agg_80211.push_back(oc.agg_80211);
+    out.agg_zigzag.push_back(oc.agg_zigzag);
   }
   return out;
 }

@@ -16,8 +16,10 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-# --- Bench harness smoke: driver must emit a machine-readable baseline ---
-./build/bench/run_all --quick --out build/BENCH_decoder.json
+# --- Bench smoke + regression gates: the driver parses its own output and
+# fails on detector-accuracy drift, Fig 5-3 BER non-monotonicity, or a
+# >2.5x wall-time blowup of either headline bench. ---
+./build/bench/run_all --quick --check --out build/BENCH_decoder.json
 test -s build/BENCH_decoder.json
 
-echo "ci.sh: tier-1 green, bench baseline written to build/BENCH_decoder.json"
+echo "ci.sh: tier-1 green, bench gates green, baseline at build/BENCH_decoder.json"

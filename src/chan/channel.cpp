@@ -1,5 +1,6 @@
 #include "zz/chan/channel.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "zz/common/mathutil.h"
@@ -12,16 +13,27 @@ namespace {
 // zero ISI between symbols at perfect timing — and its spectrum stops at
 // half Nyquist, so the receiver can interpolate it at fractional delays with
 // negligible error.
-double pulse(double x, double hw_samples) {
-  if (std::abs(x) >= hw_samples) return 0.0;
-  return sinc(x / kSps) * 0.5 * (1.0 + std::cos(kPi * x / hw_samples));
+//
+// The render loop below evaluates the pulse (or its μ-derivative) at a run
+// of equally spaced arguments per symbol, so the two trigonometric factors
+// are advanced by fixed-angle rotors instead of per-tap sin/cos — the
+// baseband synthesis hot path spends its time on multiply-adds only.
+
+struct PulseTrig {
+  double sin_u, cos_u;  ///< sin/cos(π·x/kSps)
+  double sin_w, cos_w;  ///< sin/cos(π·x/hw)
+};
+
+double pulse_value(double x, const PulseTrig& t) {
+  const double w = 0.5 * (1.0 + t.cos_w);
+  const double u = x / kSps;
+  const double s = std::abs(u) < 1e-8 ? 1.0 : t.sin_u / (kPi * u);
+  return s * w;
 }
 
-// d/dx of the pulse (analytic), for timing-error sensitivity.
-double pulse_derivative(double x, double hw_samples) {
-  if (std::abs(x) >= hw_samples) return 0.0;
-  const double w = 0.5 * (1.0 + std::cos(kPi * x / hw_samples));
-  const double dw = -0.5 * (kPi / hw_samples) * std::sin(kPi * x / hw_samples);
+double pulse_derivative_value(double x, double hw, const PulseTrig& t) {
+  const double w = 0.5 * (1.0 + t.cos_w);
+  const double dw = -0.5 * (kPi / hw) * t.sin_w;
   const double u = x / kSps;
   double s, ds;
   if (std::abs(u) < 1e-8) {
@@ -29,8 +41,8 @@ double pulse_derivative(double x, double hw_samples) {
     ds = 0.0;
   } else {
     const double pu = kPi * u;
-    s = std::sin(pu) / pu;
-    ds = (std::cos(pu) * pu - std::sin(pu)) * kPi / (pu * pu) / kSps;
+    s = t.sin_u / pu;
+    ds = (t.cos_u * pu - t.sin_u) * kPi / (pu * pu) / kSps;
   }
   return ds * w + s * dw;
 }
@@ -41,35 +53,92 @@ void render(CVec& buf, std::ptrdiff_t offset, const CVec& symbols,
             KernelFn&& kfn) {
   if (symbols.empty()) return;
   const double hw = static_cast<double>(hw_symbols) * kSps;
-  const CVec u = p.isi.is_identity() ? symbols : p.isi.apply(symbols);
+  CVec isi_tmp;
+  const CVec& u = p.isi.is_identity()
+                      ? symbols
+                      : (isi_tmp = p.isi.apply(symbols), isi_tmp);
 
-  // Accumulate band-limited contributions in packet-relative coordinates,
-  // then rotate/scale once per output sample.
+  // ZigZag renders sparse chunk images (zeros outside the chunk); find the
+  // populated symbol range so the accumulation buffer — and every loop
+  // below — spans only the samples those symbols can reach, not the whole
+  // packet.
+  std::size_t k0 = 0;
+  while (k0 < u.size() && std::norm(u[k0]) < 1e-24) ++k0;
+  if (k0 == u.size()) return;
+  std::size_t k1 = u.size();
+  while (std::norm(u[k1 - 1]) < 1e-24) --k1;
+
   const double span =
       kSps * static_cast<double>(u.size()) + p.mu +
       p.drift * kSps * static_cast<double>(u.size());
-  const auto rel_len = static_cast<std::size_t>(std::ceil(span + 2.0 * hw)) + 2;
-  CVec v(rel_len, cplx{0.0, 0.0});
-  for (std::size_t k = 0; k < u.size(); ++k) {
-    // ZigZag renders sparse chunk images (zeros outside the chunk); skip
-    // silent symbols instead of spreading zeros through the kernel.
+  const auto rel_len = static_cast<std::ptrdiff_t>(std::ceil(span + 2.0 * hw)) + 2;
+  const double t_first = kSps * static_cast<double>(k0) * (1.0 + p.drift) + p.mu;
+  const double t_last =
+      kSps * static_cast<double>(k1 - 1) * (1.0 + p.drift) + p.mu;
+  const std::ptrdiff_t mbase =
+      std::max<std::ptrdiff_t>(0, static_cast<std::ptrdiff_t>(std::floor(t_first - hw)));
+  const std::ptrdiff_t mend = std::min<std::ptrdiff_t>(
+      rel_len, static_cast<std::ptrdiff_t>(std::floor(t_last + hw)) + 1);
+  if (mend <= mbase) return;
+
+  // Accumulate band-limited contributions in window-relative coordinates,
+  // then rotate/scale once per output sample.
+  thread_local CVec v;
+  v.assign(static_cast<std::size_t>(mend - mbase), cplx{0.0, 0.0});
+
+  const double du = kPi / kSps;   // per-sample phase step of the sinc factor
+  const double dwv = kPi / hw;    // per-sample phase step of the Hann factor
+  const double cdu = std::cos(du), sdu = std::sin(du);
+  const double cdw = std::cos(dwv), sdw = std::sin(dwv);
+
+  for (std::size_t k = k0; k < k1; ++k) {
     if (std::norm(u[k]) < 1e-24) continue;
     const double tk = kSps * static_cast<double>(k) * (1.0 + p.drift) + p.mu;
-    const auto lo = static_cast<std::ptrdiff_t>(std::ceil(tk - hw));
-    const auto hi = static_cast<std::ptrdiff_t>(std::floor(tk + hw));
-    for (std::ptrdiff_t m = std::max<std::ptrdiff_t>(lo, 0); m <= hi; ++m) {
-      if (m >= static_cast<std::ptrdiff_t>(rel_len)) break;
-      v[static_cast<std::size_t>(m)] += u[k] * kfn(static_cast<double>(m) - tk, hw);
+    const auto lo = std::max<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(std::ceil(tk - hw)), mbase);
+    const auto hi = std::min<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(std::floor(tk + hw)), mend - 1);
+    if (hi < lo) continue;
+
+    // Rotors for x = m - tk starting at m = lo.
+    const double x_lo = static_cast<double>(lo) - tk;
+    PulseTrig t;
+    t.sin_u = std::sin(kPi * x_lo / kSps);
+    t.cos_u = std::cos(kPi * x_lo / kSps);
+    t.sin_w = std::sin(kPi * x_lo / hw);
+    t.cos_w = std::cos(kPi * x_lo / hw);
+    const cplx uk = u[k];
+    for (std::ptrdiff_t m = lo; m <= hi; ++m) {
+      const double x = static_cast<double>(m) - tk;
+      if (std::abs(x) < hw)
+        v[static_cast<std::size_t>(m - mbase)] += uk * kfn(x, hw, t);
+      const double su = t.sin_u * cdu + t.cos_u * sdu;
+      t.cos_u = t.cos_u * cdu - t.sin_u * sdu;
+      t.sin_u = su;
+      const double sw = t.sin_w * cdw + t.cos_w * sdw;
+      t.cos_w = t.cos_w * cdw - t.sin_w * sdw;
+      t.sin_w = sw;
     }
   }
 
-  for (std::size_t m = 0; m < rel_len; ++m) {
-    if (std::norm(v[m]) < 1e-24) continue;
-    const std::ptrdiff_t out = offset + static_cast<std::ptrdiff_t>(m);
-    if (out < 0 || out >= static_cast<std::ptrdiff_t>(buf.size())) continue;
-    const double phi = kTwoPi * p.freq_offset * static_cast<double>(m);
-    buf[static_cast<std::size_t>(out)] +=
-        scale * p.h * v[m] * cplx{std::cos(phi), std::sin(phi)};
+  // Carrier rotation e^{j2πδf·m} via a rotor re-anchored periodically so
+  // rounding drift stays below the subtraction-fidelity floor.
+  const double dphi = kTwoPi * p.freq_offset;
+  const cplx rot_step{std::cos(dphi), std::sin(dphi)};
+  cplx rot{std::cos(dphi * static_cast<double>(mbase)),
+           std::sin(dphi * static_cast<double>(mbase))};
+  constexpr std::ptrdiff_t kAnchor = 4096;
+  for (std::ptrdiff_t m = mbase; m < mend; ++m) {
+    const std::size_t vi = static_cast<std::size_t>(m - mbase);
+    if ((m - mbase) % kAnchor == 0 && m != mbase)
+      rot = cplx{std::cos(dphi * static_cast<double>(m)),
+                 std::sin(dphi * static_cast<double>(m))};
+    if (std::norm(v[vi]) >= 1e-24) {
+      const std::ptrdiff_t out = offset + m;
+      if (out >= 0 && out < static_cast<std::ptrdiff_t>(buf.size()))
+        buf[static_cast<std::size_t>(out)] += scale * p.h * v[vi] * rot;
+    }
+    rot *= rot_step;
   }
 }
 
@@ -105,7 +174,9 @@ void add_signal(CVec& buf, std::ptrdiff_t offset, const CVec& symbols,
                 const ChannelParams& p, double scale,
                 std::size_t interp_half_width) {
   render(buf, offset, symbols, p, scale, interp_half_width,
-         [](double x, double hw) { return pulse(x, hw); });
+         [](double x, double, const PulseTrig& t) {
+           return pulse_value(x, t);
+         });
 }
 
 void add_signal_derivative(CVec& buf, std::ptrdiff_t offset,
@@ -113,7 +184,9 @@ void add_signal_derivative(CVec& buf, std::ptrdiff_t offset,
                            std::size_t interp_half_width) {
   // d/dμ of pulse(m - tk) with tk = kSps·k(1+drift) + μ is -pulse'(m - tk).
   render(buf, offset, symbols, p, -1.0, interp_half_width,
-         [](double x, double hw) { return pulse_derivative(x, hw); });
+         [](double x, double hw, const PulseTrig& t) {
+           return pulse_derivative_value(x, hw, t);
+         });
 }
 
 CVec clean_reception(Rng& rng, const CVec& symbols, const ChannelParams& p,

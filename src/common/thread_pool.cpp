@@ -1,0 +1,132 @@
+#include "zz/common/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zz {
+
+std::uint64_t shard_seed(std::uint64_t base, std::uint64_t index) {
+  // SplitMix64 finalizer over the combined state: uncorrelated streams for
+  // neighbouring indices, stable across platforms.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;   ///< workers wait here for a batch
+  std::condition_variable done_cv;   ///< parallel_for waits here for drain
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t batch_n = 0;
+  /// Claim ticket packing (generation << 32) | next_index. Claims go
+  /// through a CAS that re-checks the generation, so a worker lingering
+  /// from a drained batch can never claim (and silently consume) an index
+  /// of the NEXT batch — it observes the bumped generation and exits.
+  std::atomic<std::uint64_t> ticket{0};
+  std::size_t in_flight = 0;         ///< tasks claimed but not finished
+  std::uint32_t generation = 0;
+  bool stop = false;
+  std::exception_ptr error;
+  std::vector<std::thread> workers;
+
+  void run_tasks(const std::function<void(std::size_t)>& f, std::size_t n,
+                 std::uint32_t gen) {
+    for (;;) {
+      std::uint64_t t = ticket.load();
+      if (static_cast<std::uint32_t>(t >> 32) != gen) break;  // superseded
+      const auto i = static_cast<std::size_t>(t & 0xffffffffu);
+      if (i >= n) break;
+      if (!ticket.compare_exchange_weak(t, t + 1)) continue;
+      try {
+        f(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --in_flight;
+        if (in_flight == 0) done_cv.notify_all();
+      }
+    }
+  }
+
+  void worker() {
+    std::uint32_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* f;
+      std::size_t n;
+      std::uint32_t gen;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        gen = generation;
+        f = fn;
+        n = batch_n;
+      }
+      if (f) run_tasks(*f, n, gen);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  if (threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc ? hc : 1;
+  }
+  size_ = threads;
+  for (std::size_t t = 0; t + 1 < threads; ++t)
+    impl_->workers.emplace_back([this] { impl_->worker(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (impl_->workers.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::uint32_t gen;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->fn = &fn;
+    impl_->batch_n = n;
+    impl_->in_flight = n;
+    impl_->error = nullptr;
+    gen = ++impl_->generation;
+    impl_->ticket.store(static_cast<std::uint64_t>(gen) << 32);
+  }
+  impl_->work_cv.notify_all();
+  impl_->run_tasks(fn, n, gen);  // the caller helps drain the batch
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] { return impl_->in_flight == 0; });
+    impl_->fn = nullptr;
+    if (impl_->error) std::rethrow_exception(impl_->error);
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace zz

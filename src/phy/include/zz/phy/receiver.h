@@ -20,10 +20,18 @@
 
 namespace zz::phy {
 
+/// Peak-height reference gain κ mapping the paper's β onto this waveform
+/// family's correlation statistics — the single calibration shared by the
+/// standard receiver's detection threshold and the zigzag collision
+/// detector (measured on the Table 5.1a scenario set; see
+/// bench/table_5_1_micro).
+inline constexpr double kDetectCalibration = 1.22;
+
 /// Receiver-wide configuration.
 struct ReceiverConfig {
   std::size_t preamble_len = kPreambleLength;
   double detect_beta = 0.65;  ///< correlation threshold factor (§5.3a)
+  double detect_calibration = kDetectCalibration;
   TrackingGains gains{};
   std::size_t interp_half_width = 8;
   std::size_t equalizer_len = 7;  ///< taps of the LS inverse-ISI filter
@@ -66,6 +74,10 @@ struct PacketDecode {
 /// Mean power of the quietest stretch of the buffer — the receiver's noise
 /// floor estimate (receptions carry a noise-only lead-in).
 double estimate_noise_floor(const CVec& rx, std::size_t window = 32);
+
+/// Bias-corrected variant for threshold calibration: averages the 2nd/3rd
+/// quietest windows instead of taking the minimum (which sits ~20% low).
+double estimate_noise_floor_robust(const CVec& rx, std::size_t window = 32);
 
 /// Correlation-peak channel estimation at a known peak position.
 PreambleEstimate estimate_at_peak(const CVec& rx, std::size_t peak,

@@ -22,6 +22,24 @@ double estimate_noise_floor(const CVec& rx, std::size_t window) {
   return best;
 }
 
+double estimate_noise_floor_robust(const CVec& rx, std::size_t window) {
+  if (rx.size() < 2 * window || window < 2) return estimate_noise_floor(rx, window);
+  std::vector<double> powers;
+  powers.reserve(2 * rx.size() / window);
+  for (std::size_t start = 0; start + window <= rx.size(); start += window / 2) {
+    double p = 0.0;
+    for (std::size_t i = 0; i < window; ++i) p += std::norm(rx[start + i]);
+    powers.push_back(p / static_cast<double>(window));
+  }
+  if (powers.size() < 4) return *std::min_element(powers.begin(), powers.end());
+  // The minimum of many chi-square window averages is biased ~20% low —
+  // enough to miscalibrate a detection threshold. Averaging the 2nd and
+  // 3rd order statistics instead keeps the quiet-region selectivity while
+  // cancelling most of the bias.
+  std::partial_sort(powers.begin(), powers.begin() + 3, powers.end());
+  return 0.5 * (powers[1] + powers[2]);
+}
+
 PreambleEstimate estimate_at_peak(const CVec& rx, std::size_t peak,
                                   double coarse_freq,
                                   std::size_t preamble_len) {
@@ -67,7 +85,10 @@ double StandardReceiver::detection_threshold(double snr_linear,
                                              double noise_floor) const {
   // |Γ'| at a true peak ≈ E_ref·|H| with E_ref the reference energy; β
   // trades false positives against false negatives exactly as in §5.3(a).
-  return cfg_.detect_beta * preamble_waveform_energy(cfg_.preamble_len) *
+  // The calibration gain mirrors zigzag::DetectorConfig::calibration: it
+  // maps the paper's β onto this waveform family's correlation statistics.
+  return cfg_.detect_beta * cfg_.detect_calibration *
+         preamble_waveform_energy(cfg_.preamble_len) *
          std::sqrt(std::max(snr_linear, 1e-6) * std::max(noise_floor, 1e-12));
 }
 
@@ -87,7 +108,7 @@ PacketDecode StandardReceiver::decode(const CVec& rx,
       peak = i;
     }
   }
-  const double noise = estimate_noise_floor(rx);
+  const double noise = estimate_noise_floor_robust(rx);
   const double snr_hint = profile ? db_to_lin(profile->snr_db) : 1.0;
   if (best < detection_threshold(snr_hint, noise)) return {};
   return decode_at(rx, peak, profile);

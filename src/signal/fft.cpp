@@ -1,0 +1,63 @@
+#include "zz/signal/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "zz/common/mathutil.h"
+
+namespace zz::sig {
+
+std::size_t Fft::next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Fft::Fft(std::size_t n) : n_(n) {
+  if (n < 2 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("Fft: size must be a power of two >= 2");
+  rev_.resize(n);
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b)
+      if (i & (std::size_t{1} << b)) r |= std::size_t{1} << (bits - 1 - b);
+    rev_[i] = static_cast<std::uint32_t>(r);
+  }
+  tw_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double phi = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    tw_[k] = cplx{std::cos(phi), std::sin(phi)};
+  }
+}
+
+void Fft::transform(cplx* x, bool inverse) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t r = rev_[i];
+    if (i < r) std::swap(x[i], x[r]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n_ / len;
+    for (std::size_t base = 0; base < n_; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx w = inverse ? std::conj(tw_[k * step]) : tw_[k * step];
+        const cplx u = x[base + k];
+        const cplx v = x[base + k + half] * w;
+        x[base + k] = u + v;
+        x[base + k + half] = u - v;
+      }
+    }
+  }
+}
+
+void Fft::forward(cplx* x) const { transform(x, false); }
+
+void Fft::inverse(cplx* x) const {
+  transform(x, true);
+  const double s = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] *= s;
+}
+
+}  // namespace zz::sig

@@ -1,0 +1,43 @@
+// Radix-2 FFT used by the batched sliding correlator.
+//
+// The correlation hot path (§4.2.1) computes Γ'(Δ) for every alignment Δ of
+// a short reference against a long stream. Done naively that is O(N·M);
+// overlap-save convolution through this FFT makes it O(N·log M) and — more
+// importantly for the detector — lets the stream's block transforms be
+// computed once and reused across every client frequency hypothesis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "zz/common/types.h"
+
+namespace zz::sig {
+
+/// In-place iterative radix-2 DIT transform over power-of-two lengths.
+/// Twiddles and the bit-reversal permutation are precomputed at
+/// construction, so a plan is cheap to reuse across many buffers.
+class Fft {
+ public:
+  explicit Fft(std::size_t n);  ///< n must be a power of two >= 2
+
+  std::size_t size() const { return n_; }
+
+  /// X[k] = Σ_n x[n]·e^{-j2πnk/N}, in place.
+  void forward(cplx* x) const;
+
+  /// x[n] = (1/N)·Σ_k X[k]·e^{+j2πnk/N}, in place.
+  void inverse(cplx* x) const;
+
+  /// Smallest power of two >= n.
+  static std::size_t next_pow2(std::size_t n);
+
+ private:
+  void transform(cplx* x, bool inverse) const;
+
+  std::size_t n_;
+  std::vector<std::uint32_t> rev_;  ///< bit-reversal permutation
+  std::vector<cplx> tw_;            ///< e^{-j2πk/N}, k < N/2
+};
+
+}  // namespace zz::sig

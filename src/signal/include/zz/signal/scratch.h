@@ -1,0 +1,61 @@
+// Reusable scratch buffers for per-call workspaces.
+//
+// The zigzag chunk loop and the collision detector render, correlate and
+// project through temporary sample buffers thousands of times per decode;
+// allocating them per call dominated the profile. A ScratchArena owns a
+// small set of slot-addressed buffers that keep their capacity across
+// calls, so steady-state operation performs no allocation at all.
+//
+// Discipline: slots are owner-scoped. Each object that embeds an arena
+// assigns fixed slot numbers to its own call sites (an enum works well);
+// two call sites may share a slot only when their lifetimes never overlap.
+// Arenas are NOT thread-safe — give each thread (or each engine object)
+// its own.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "zz/common/types.h"
+
+namespace zz::sig {
+
+class ScratchArena {
+ public:
+  /// Complex buffer for `slot`, resized to n. Contents are stale — callers
+  /// that need zeros should use czero().
+  CVec& cvec(std::size_t slot, std::size_t n) {
+    while (c_.size() <= slot) c_.emplace_back();
+    c_[slot].resize(n);
+    return c_[slot];
+  }
+
+  /// Complex buffer for `slot`, resized to n and zero-filled.
+  CVec& czero(std::size_t slot, std::size_t n) {
+    while (c_.size() <= slot) c_.emplace_back();
+    c_[slot].assign(n, cplx{0.0, 0.0});
+    return c_[slot];
+  }
+
+  /// Real buffer for `slot`, resized to n (contents stale).
+  std::vector<double>& dvec(std::size_t slot, std::size_t n) {
+    while (d_.size() <= slot) d_.emplace_back();
+    d_[slot].resize(n);
+    return d_[slot];
+  }
+
+  /// Release all held capacity.
+  void release() {
+    c_.clear();
+    d_.clear();
+  }
+
+ private:
+  // Deques so a reference handed out for one slot survives another slot
+  // being materialized while it is still in use.
+  std::deque<CVec> c_;
+  std::deque<std::vector<double>> d_;
+};
+
+}  // namespace zz::sig

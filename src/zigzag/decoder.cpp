@@ -10,6 +10,7 @@
 #include "zz/phy/scrambler.h"
 #include "zz/phy/tracker.h"
 #include "zz/phy/transmitter.h"
+#include "zz/signal/scratch.h"
 
 namespace zz::zigzag {
 namespace {
@@ -65,6 +66,10 @@ struct PacketCtx {
   int profile_index = -1;
   CVec decided;
   std::vector<std::uint8_t> known;
+  /// Header symbols re-encoded for each retry-flag variant (§4.2.2), built
+  /// when the header parses; collisions carrying the other variant render
+  /// through these instead of the decided symbols.
+  CVec hdr_variant[2];
   double metric = 0.0;  ///< strongest detection metric (phantom triage)
   /// A detection that never produced a parseable header and stalled the
   /// schedule — most likely a correlation false positive (§5.3a notes these
@@ -239,9 +244,23 @@ class Engine {
            chan::kSps * k * (1.0 + l.est.params.drift) + l.est.params.mu;
   }
 
+  // Presence bookkeeping must use a FIXED geometry. A symbol's presence is
+  // added at init and removed when the symbol is subtracted — often many
+  // chunks later, after the timing tracker has moved μ̂. Positioning both
+  // operations with the evolving estimate leaves phantom interference
+  // wherever the rounding flips between them, which stalls the schedule and
+  // gets real packets ghosted as false positives (the Fig 5-3 high-SNR
+  // anomaly). Detection-time geometry is used for every presence query.
+  double pres_pos(std::size_t p, std::size_t c, double k) const {
+    const Link& l = links_[p][c];
+    return static_cast<double>(l.origin) +
+           chan::kSps * k * (1.0 + l.initial.params.drift) +
+           l.initial.params.mu;
+  }
+
   void add_presence(std::size_t c, std::size_t p, std::size_t k, double power,
                     double sign) {
-    const auto pos = static_cast<std::ptrdiff_t>(std::lround(sym_pos(p, c, static_cast<double>(k))));
+    const auto pos = static_cast<std::ptrdiff_t>(std::lround(pres_pos(p, c, static_cast<double>(k))));
     auto& v = pres_[c][p];
     const auto n = static_cast<std::ptrdiff_t>(v.size());
     for (std::ptrdiff_t d = -kFarSpan; d <= kFarSpan; ++d) {
@@ -255,7 +274,7 @@ class Engine {
 
   // ------------------------------------------------------------ scheduling
   double interference_at(std::size_t p, std::size_t c, std::size_t k) const {
-    const auto pos = static_cast<std::ptrdiff_t>(std::lround(sym_pos(p, c, static_cast<double>(k))));
+    const auto pos = static_cast<std::ptrdiff_t>(std::lround(pres_pos(p, c, static_cast<double>(k))));
     if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(residual_[c].size()))
       return 1e30;
     double acc = 0.0;
@@ -361,57 +380,124 @@ class Engine {
   }
 
   // -------------------------------------------------------------- decoding
-  // Render the ISI-filtered symbol stream of packet p restricted to symbol
-  // range [k0, k1), in the header variant appropriate for collision c.
-  CVec render_u(std::size_t p, std::size_t c, std::size_t k0,
-                std::size_t k1) const {
+  /// Sample range [s0, s1) of collision c that the image of p's symbols
+  /// [k0, k1) can touch (pulse tails plus slack).
+  struct Window {
+    std::ptrdiff_t s0 = 0, s1 = 0;
+    std::size_t size() const { return static_cast<std::size_t>(s1 - s0); }
+  };
+
+  Window image_window(std::size_t p, std::size_t c, std::size_t k0,
+                      std::size_t k1) const {
+    const auto pad = static_cast<double>(opt_.interp_half_width) * chan::kSps + 8.0;
+    const auto n = static_cast<std::ptrdiff_t>(residual_[c].size());
+    Window w;
+    w.s0 = std::clamp<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(std::floor(sym_pos(p, c, static_cast<double>(k0)) - pad)),
+        0, n);
+    w.s1 = std::clamp<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(std::ceil(sym_pos(p, c, static_cast<double>(k1)) + pad)),
+        w.s0, n);
+    return w;
+  }
+
+  // The symbol packet p would transmit at index k, as carried by collision
+  // c: decided value for known symbols (zero otherwise), with the
+  // retry-flag header variant of this collision re-encoded (§4.2.2).
+  cplx decided_at(std::size_t p, std::size_t c, std::ptrdiff_t k) const {
     const PacketCtx& pk = pkts_[p];
-    CVec x(pk.len, cplx{0.0, 0.0});
-    for (std::size_t k = 0; k < pk.len; ++k)
-      if (pk.known[k]) x[k] = pk.decided[k];
-
-    // Retry-flag override (§4.2.2): the copies of a packet in different
-    // collisions differ in the retry bit (and the HCS bits it feeds);
-    // re-encode the variant this collision actually carried.
+    if (k < 0 || k >= static_cast<std::ptrdiff_t>(pk.len)) return cplx{0.0, 0.0};
+    const auto ku = static_cast<std::size_t>(k);
     if (pk.header && pk.header->retry != inputs_[c].is_retransmission) {
-      phy::FrameHeader h2 = *pk.header;
-      h2.retry = inputs_[c].is_retransmission;
-      const Bits hb = phy::encode_header(h2);
-      const phy::Modulator bpsk(Modulation::BPSK);
-      const CVec hs = bpsk.modulate(hb);
       const std::size_t base = rxcfg_.preamble_len;
-      for (std::size_t i = 0; i < hs.size() && base + i < pk.len; ++i)
-        if (pk.known[base + i]) x[base + i] = hs[i];
+      if (ku >= base && ku < base + phy::kHeaderBits && pk.known[ku])
+        return pk.hdr_variant[inputs_[c].is_retransmission ? 1 : 0][ku - base];
     }
+    return pk.decided[ku];  // zero until decoded
+  }
 
+  // Render the ISI-filtered symbol stream of packet p restricted to symbol
+  // range [k0, k1) into `u` (u[j] = symbol k0+j). ISI pulls in decided
+  // neighbours just outside the range, exactly like filtering the whole
+  // packet and masking would — without touching the other `len` symbols.
+  void render_u(std::size_t p, std::size_t c, std::size_t k0, std::size_t k1,
+                CVec& u) const {
     const Link& l = links_[p][c];
     const auto& isi = tracked(l).params.isi;
-    CVec u = isi.is_identity() ? x : isi.apply(x);
-    for (std::size_t k = 0; k < u.size(); ++k)
-      if (k < k0 || k >= k1) u[k] = cplx{0.0, 0.0};
-    return u;
+    u.resize(k1 - k0);
+    if (isi.is_identity()) {
+      for (std::size_t k = k0; k < k1; ++k) u[k - k0] = decided_at(p, c, static_cast<std::ptrdiff_t>(k));
+      return;
+    }
+    const auto& taps = isi.taps();
+    const auto pre = static_cast<std::ptrdiff_t>(isi.pre());
+    for (std::size_t k = k0; k < k1; ++k) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t t = 0; t < taps.size(); ++t)
+        acc += taps[t] *
+               decided_at(p, c, static_cast<std::ptrdiff_t>(k) + pre -
+                                    static_cast<std::ptrdiff_t>(t));
+      u[k - k0] = acc;
+    }
   }
 
   const phy::LinkEstimate& tracked(const Link& l) const {
     return opt_.reconstruction_tracking ? l.est : l.initial;
   }
 
-  // Render the image of p's symbols [k0,k1) as received in collision c.
-  CVec render_image(std::size_t p, std::size_t c, std::size_t k0,
-                    std::size_t k1) const {
+  // Render the image of p's symbols [k0,k1) as received in collision c into
+  // the window buffer `img` (img[i] = sample w.s0 + i). The symbol range is
+  // re-based so the synthesis cost scales with the chunk, not the packet:
+  // an integer sample shift of kSps·k0 folds into the buffer offset, its
+  // drift contribution into μ and its carrier rotation into ĥ.
+  Window render_image(std::size_t p, std::size_t c, std::size_t k0,
+                      std::size_t k1, CVec& img) const {
     const Link& l = links_[p][c];
-    CVec img(residual_[c].size(), cplx{0.0, 0.0});
+    const Window w = image_window(p, c, k0, k1);
+    img.assign(w.size(), cplx{0.0, 0.0});
+    if (w.s1 <= w.s0) return w;
+
+    render_u(p, c, k0, k1, u_scratch_);
+
     chan::ChannelParams params = tracked(l).params;
     params.isi = sig::Fir();  // ISI already applied in render_u
-    chan::add_signal(img, l.origin, render_u(p, c, k0, k1), params, 1.0,
+    const auto shift = static_cast<std::ptrdiff_t>(
+        std::llround(chan::kSps * static_cast<double>(k0)));
+    params.mu += static_cast<double>(shift) * params.drift;
+    const double phi = kTwoPi * params.freq_offset * static_cast<double>(shift);
+    params.h *= cplx{std::cos(phi), std::sin(phi)};
+    chan::add_signal(img, l.origin + shift - w.s0, u_scratch_, params, 1.0,
                      opt_.interp_half_width);
-    return img;
+    return w;
+  }
+
+  // Same re-basing for the timing-derivative image.
+  Window render_image_derivative(std::size_t p, std::size_t c, std::size_t k0,
+                                 std::size_t k1, CVec& dimg) const {
+    const Link& l = links_[p][c];
+    const Window w = image_window(p, c, k0, k1);
+    dimg.assign(w.size(), cplx{0.0, 0.0});
+    if (w.s1 <= w.s0) return w;
+
+    render_u(p, c, k0, k1, u_scratch_);
+
+    chan::ChannelParams params = tracked(l).params;
+    params.isi = sig::Fir();
+    const auto shift = static_cast<std::ptrdiff_t>(
+        std::llround(chan::kSps * static_cast<double>(k0)));
+    params.mu += static_cast<double>(shift) * params.drift;
+    const double phi = kTwoPi * params.freq_offset * static_cast<double>(shift);
+    params.h *= cplx{std::cos(phi), std::sin(phi)};
+    chan::add_signal_derivative(dimg, l.origin + shift - w.s0, u_scratch_,
+                                params, opt_.interp_half_width);
+    return w;
   }
 
   // Project the current residual onto the image to refine ĥ, δf̂, μ̂ of the
-  // (p, c) link — the chunk-1′/chunk-1″ comparison of §4.2.4(b,c).
+  // (p, c) link — the chunk-1′/chunk-1″ comparison of §4.2.4(b,c). `img`
+  // is the window-relative image covering samples [w.s0, w.s1).
   void project_refine(std::size_t p, std::size_t c, const CVec& img,
-                      std::size_t k0, std::size_t k1) {
+                      const Window& w, std::size_t k0, std::size_t k1) {
     if (!opt_.reconstruction_tracking) return;
     Link& l = links_[p][c];
     // Only trust the projection when the region is mostly this packet.
@@ -427,10 +513,10 @@ class Engine {
 
     cplx num{0.0, 0.0};
     double den = 0.0;
-    for (std::size_t n = 0; n < img.size(); ++n) {
-      if (std::norm(img[n]) < 1e-12) continue;
-      num += std::conj(img[n]) * residual_[c][n];
-      den += std::norm(img[n]);
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      if (std::norm(img[i]) < 1e-12) continue;
+      num += std::conj(img[i]) * residual_[c][static_cast<std::size_t>(w.s0) + i];
+      den += std::norm(img[i]);
     }
     if (den < 1e-9) return;
     cplx eps = num / den - cplx{1.0, 0.0};
@@ -452,16 +538,17 @@ class Engine {
     l.last_track_pos = center;
 
     // Sampling offset: project onto the timing derivative of the image.
-    CVec dimg(residual_[c].size(), cplx{0.0, 0.0});
-    chan::ChannelParams params = tracked(l).params;
-    params.isi = sig::Fir();
-    chan::add_signal_derivative(dimg, l.origin, render_u(p, c, k0, k1), params,
-                                opt_.interp_half_width);
+    CVec& dimg = arena_.cvec(kSlotDImg, 0);
+    const Window dw = render_image_derivative(p, c, k0, k1, dimg);
     double tn = 0.0, td = 0.0;
-    for (std::size_t n = 0; n < dimg.size(); ++n) {
-      if (std::norm(dimg[n]) < 1e-12) continue;
-      tn += std::real(std::conj(dimg[n]) * (residual_[c][n] - img[n]));
-      td += std::norm(dimg[n]);
+    for (std::size_t i = 0; i < dimg.size(); ++i) {
+      if (std::norm(dimg[i]) < 1e-12) continue;
+      const std::ptrdiff_t n = dw.s0 + static_cast<std::ptrdiff_t>(i);
+      if (n < w.s0 || n >= w.s1) continue;
+      tn += std::real(std::conj(dimg[i]) *
+                      (residual_[c][static_cast<std::size_t>(n)] -
+                       img[static_cast<std::size_t>(n - w.s0)]));
+      td += std::norm(dimg[i]);
     }
     if (td > 1e-9) l.est.params.mu += std::clamp(0.3 * tn / td, -0.05, 0.05);
   }
@@ -473,15 +560,17 @@ class Engine {
                       std::size_t k1) {
     Link& l = links_[p][c];
     if (!l.present) return;
-    CVec img = render_image(p, c, k0, k1);
-    project_refine(p, c, img, k0, k1);
+    CVec& img = arena_.cvec(kSlotImg, 0);
+    Window w = render_image(p, c, k0, k1, img);
+    project_refine(p, c, img, w, k0, k1);
     if (opt_.reconstruction_tracking)
-      img = render_image(p, c, k0, k1);  // re-render with refined estimate
+      w = render_image(p, c, k0, k1, img);  // re-render with refined estimate
     auto& acct = imgs_[p][c];
     if (acct.empty()) acct.assign(residual_[c].size(), cplx{0.0, 0.0});
-    for (std::size_t n = 0; n < img.size(); ++n) {
-      residual_[c][n] -= img[n];
-      acct[n] += img[n];
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      const auto n = static_cast<std::size_t>(w.s0) + i;
+      residual_[c][n] -= img[i];
+      acct[n] += img[i];
     }
     for (std::size_t k = k0; k < k1; ++k)
       add_presence(c, p, k, l.pres_power, -1.0);
@@ -489,10 +578,10 @@ class Engine {
     {
       double ipow = 0.0, rpow = 0.0;
       std::size_t cnt = 0;
-      for (std::size_t n = 0; n < img.size(); ++n) {
-        if (std::norm(img[n]) < 1e-12) continue;
-        ipow += std::norm(img[n]);
-        rpow += std::norm(residual_[c][n]);
+      for (std::size_t i = 0; i < img.size(); ++i) {
+        if (std::norm(img[i]) < 1e-12) continue;
+        ipow += std::norm(img[i]);
+        rpow += std::norm(residual_[c][static_cast<std::size_t>(w.s0) + i]);
         ++cnt;
       }
       std::fprintf(stderr,
@@ -526,7 +615,7 @@ class Engine {
 
     // Reconstruct this packet's own signal view: residual plus everything of
     // p we previously subtracted from this collision (exact add-back).
-    CVec view(static_cast<std::size_t>(w1 - w0));
+    CVec& view = arena_.cvec(kSlotView, static_cast<std::size_t>(w1 - w0));
     const auto& acct = imgs_[p][c];
     for (std::ptrdiff_t n = w0; n < w1; ++n) {
       const auto i = static_cast<std::size_t>(n);
@@ -638,6 +727,59 @@ class Engine {
       residual_[c][n] -= delta;
       imgs_[q][c][n] += delta;
     }
+
+    // Timing (§4.2.4c applied to reconstructed images): a link whose chunks
+    // always subtract into occupied territory never reaches project_refine,
+    // so a sampling-offset error from its interference-corrupted preamble
+    // fit would persist for the whole packet — the dominant cancellation
+    // residue. Project the post-repair residual onto the timing derivative
+    // of this packet's symbols inside the window and correct μ̂ (and the
+    // residual, to first order) here.
+    {
+      const PacketCtx& pk = pkts_[q];
+      const double denom = chan::kSps * (1.0 + l.est.params.drift);
+      const auto pad = static_cast<double>(opt_.interp_half_width);
+      const auto k0 = static_cast<std::size_t>(std::clamp(
+          (static_cast<double>(w0) - static_cast<double>(l.origin) -
+           l.est.params.mu) / denom - pad,
+          0.0, static_cast<double>(pk.len)));
+      const auto k1 = static_cast<std::size_t>(std::clamp(
+          (static_cast<double>(w1) - static_cast<double>(l.origin) -
+           l.est.params.mu) / denom + pad,
+          static_cast<double>(k0), static_cast<double>(pk.len)));
+      if (k1 > k0 + 16) {
+        CVec& dimg = arena_.cvec(kSlotDImg, 0);
+        const Window dw = render_image_derivative(q, c, k0, k1, dimg);
+        double tn = 0.0, td = 0.0;
+        for (std::size_t i = 0; i < dimg.size(); ++i) {
+          if (std::norm(dimg[i]) < 1e-12) continue;
+          const std::ptrdiff_t n = dw.s0 + static_cast<std::ptrdiff_t>(i);
+          if (n < static_cast<std::ptrdiff_t>(w0) ||
+              n >= static_cast<std::ptrdiff_t>(w1))
+            continue;
+          tn += std::real(std::conj(dimg[i]) *
+                          residual_[c][static_cast<std::size_t>(n)]);
+          td += std::norm(dimg[i]);
+        }
+        if (td > 1e-9) {
+          const double dmu = std::clamp(0.3 * tn / td, -0.08, 0.08);
+          l.est.params.mu += dmu;
+          for (std::size_t i = 0; i < dimg.size(); ++i) {
+            const std::ptrdiff_t n = dw.s0 + static_cast<std::ptrdiff_t>(i);
+            if (n < static_cast<std::ptrdiff_t>(w0) ||
+                n >= static_cast<std::ptrdiff_t>(w1))
+              continue;
+            const cplx delta = dmu * dimg[i];
+            residual_[c][static_cast<std::size_t>(n)] -= delta;
+            imgs_[q][c][static_cast<std::size_t>(n)] += delta;
+          }
+#ifdef ZZ_ZIGZAG_DEBUG
+          std::fprintf(stderr, "  retro-mu q=%zu c=%zu dmu=%+.3f mu=%+.3f\n",
+                       q, c, dmu, l.est.params.mu);
+#endif
+        }
+      }
+    }
   }
 
   // Track the slicer noise measured by the decodes that filled each soft
@@ -672,6 +814,14 @@ class Engine {
     pk.header = *header;
     pk.layout = phy::layout_for(*header);
     pk.body_mod = header->payload_mod;
+
+    // Pre-encode both retry-flag header variants for image rendering.
+    const phy::Modulator hdr_bpsk(Modulation::BPSK);
+    for (int v = 0; v < 2; ++v) {
+      phy::FrameHeader hv = *header;
+      hv.retry = v != 0;
+      pk.hdr_variant[v] = hdr_bpsk.modulate(phy::encode_header(hv));
+    }
 
     // Re-map the profile if the header names a different client than the
     // detector guessed (the preamble itself is sender-agnostic, and two
@@ -739,8 +889,14 @@ class Engine {
       }
       if (progress) continue;
 
-      // Stalled: first suspect a phantom detection, then force a short
-      // chunk at the least-interfered frontier — errors it causes decay
+      // Stalled: first suspect a phantom detection (correlation false
+      // positive) and ghost the weakest never-validated packet — with the
+      // presence ledger pinned to detection-time geometry, a real packet no
+      // longer stalls on its own phantom interference, so a stall with a
+      // headerless packet present is overwhelmingly a phantom blocking the
+      // schedule, and ghosting first keeps its garbage chunks from ever
+      // being force-decoded into the residual. Then force a short chunk at
+      // the least-interfered frontier — errors it causes decay
       // exponentially (§4.3a) and the refinement pass revisits it.
       if (ghost_weakest_unvalidated()) continue;
       if (stall_budget-- <= 0) break;
@@ -820,7 +976,8 @@ class Engine {
     if (!l.present || !opt_.reconstruction_tracking) return;
     const PacketCtx& pk = pkts_[p];
 
-    CVec view = residual_[c];
+    CVec& view = arena_.cvec(kSlotEstView, residual_[c].size());
+    std::copy(residual_[c].begin(), residual_[c].end(), view.begin());
     {
       const auto& acct = imgs_[p][c];
       if (!acct.empty())
@@ -832,16 +989,17 @@ class Engine {
     cplx best_corr{1.0, 0.0};
     std::vector<double> scores;
     const double step = 0.15;
+    CVec& img = arena_.cvec(kSlotEstImg, 0);
     for (int i = -3; i <= 3; ++i) {
       const double dmu = step * i;
       l.est.params.mu = mu0 + dmu;
-      const CVec img = render_image(p, c, 0, pk.len);
+      const Window w = render_image(p, c, 0, pk.len, img);
       cplx num{0.0, 0.0};
       double den = 0.0;
-      for (std::size_t n = 0; n < img.size(); ++n) {
-        if (std::norm(img[n]) < 1e-12) continue;
-        num += std::conj(img[n]) * view[n];
-        den += std::norm(img[n]);
+      for (std::size_t j = 0; j < img.size(); ++j) {
+        if (std::norm(img[j]) < 1e-12) continue;
+        num += std::conj(img[j]) * view[static_cast<std::size_t>(w.s0) + j];
+        den += std::norm(img[j]);
       }
       const double score = den > 1e-9 ? std::abs(num) / std::sqrt(den) : 0.0;
       scores.push_back(score);
@@ -864,18 +1022,19 @@ class Engine {
       l.est.params.h *= best_corr;
 
     // Residual frequency from the phase slope between the packet halves.
-    const CVec img = render_image(p, c, 0, pk.len);
+    const Window w = render_image(p, c, 0, pk.len, img);
     cplx g[2] = {cplx{0.0, 0.0}, cplx{0.0, 0.0}};
     double t[2] = {0.0, 0.0}, e[2] = {0.0, 0.0};
     const double mid =
         static_cast<double>(l.origin) +
         chan::kSps * static_cast<double>(pk.len) / 2.0;
-    for (std::size_t n = 0; n < img.size(); ++n) {
-      if (std::norm(img[n]) < 1e-12) continue;
+    for (std::size_t j = 0; j < img.size(); ++j) {
+      if (std::norm(img[j]) < 1e-12) continue;
+      const auto n = static_cast<std::size_t>(w.s0) + j;
       const int half = static_cast<double>(n) < mid ? 0 : 1;
-      g[half] += std::conj(img[n]) * view[n];
-      t[half] += std::norm(img[n]) * static_cast<double>(n);
-      e[half] += std::norm(img[n]);
+      g[half] += std::conj(img[j]) * view[n];
+      t[half] += std::norm(img[j]) * static_cast<double>(n);
+      e[half] += std::norm(img[j]);
     }
     if (e[0] > 1e-9 && e[1] > 1e-9) {
       const double dt = t[1] / e[1] - t[0] / e[0];
@@ -903,11 +1062,20 @@ class Engine {
         Link& l = links_[p][c];
         if (!l.present || imgs_[p][c].empty()) continue;
         reestimate_link(p, c);
-        CVec fresh = render_image(p, c, 0, pk.len);
+        // Replace the account with a fresh full-packet image rendered under
+        // the final estimates. The old account can extend (slightly) past
+        // the fresh window when μ̂ moved, so clear it everywhere.
+        CVec& fresh = arena_.cvec(kSlotEstImg, 0);
+        const Window w = render_image(p, c, 0, pk.len, fresh);
         auto& acct = imgs_[p][c];
-        for (std::size_t n = 0; n < fresh.size(); ++n) {
-          residual_[c][n] += acct[n] - fresh[n];
-          acct[n] = fresh[n];
+        for (std::size_t n = 0; n < acct.size(); ++n) {
+          residual_[c][n] += acct[n];
+          acct[n] = cplx{0.0, 0.0};
+        }
+        for (std::size_t j = 0; j < fresh.size(); ++j) {
+          const auto n = static_cast<std::size_t>(w.s0) + j;
+          residual_[c][n] -= fresh[j];
+          acct[n] = fresh[j];
         }
       }
     }
@@ -930,7 +1098,7 @@ class Engine {
           specs[k].mod = mod_at(p, k);
           if (k < pre.size()) specs[k].pilot = pre[k];
         }
-        CVec view(residual_[c].size());
+        CVec& view = arena_.cvec(kSlotView, residual_[c].size());
         const auto& acct = imgs_[p][c];
         for (std::size_t n = 0; n < view.size(); ++n)
           view[n] = residual_[c][n] +
@@ -947,6 +1115,54 @@ class Engine {
         // supersedes the bootstrap-pass copy from this collision.
         std::fill(soft_ok_[0][p][c].begin(), soft_ok_[0][p][c].end(),
                   static_cast<std::uint8_t>(0));
+      }
+    }
+
+    // Decision update: re-slice each symbol from the MRC combination of the
+    // refreshed copies. Without this, a symbol decided wrongly during the
+    // passes keeps being re-rendered and subtracted self-consistently — the
+    // corrupted image poisons the OTHER packet's copies at the same samples
+    // in every collision, and no amount of re-decoding escapes (a decision-
+    // feedback lock-in visible as a high-SNR BER floor in Fig 5-3). The
+    // corrected decisions feed the next refinement pass's re-rendering.
+    for (std::size_t p = 0; p < P_; ++p) {
+      PacketCtx& pk = pkts_[p];
+      if (pk.ghost || !pk.header) continue;
+      bool complete = true;
+      for (std::size_t k = 0; k < pk.len; ++k)
+        if (!pk.known[k]) complete = false;
+      if (!complete) continue;
+      // Body symbols only: header symbols differ across collisions in the
+      // retry-flag variant (§4.2.2), so MRC-mixing them would corrupt the
+      // decided header — they are protected by the parse/re-encode path.
+      // Copies much noisier than the best are excluded exactly as in the
+      // finalize() combination; a symbol covered only by excluded copies
+      // keeps its chunk-pass decision.
+      double best_nv = 1e30;
+      for (int bank = 0; bank < 2; ++bank)
+        for (std::size_t c = 0; c < C_; ++c)
+          if (bank_nv_[bank][p][c] > 0.0)
+            best_nv = std::min(best_nv, bank_nv_[bank][p][c]);
+      const double nv_cut = best_nv < 1e29 ? 3.0 * best_nv : 1e30;
+      const phy::Modulator body(pk.body_mod);
+      for (std::size_t k = rxcfg_.preamble_len + phy::kHeaderBits; k < pk.len;
+           ++k) {
+        cplx acc{0.0, 0.0};
+        double wsum = 0.0;
+        for (int bank = 0; bank < 2; ++bank)
+          for (std::size_t c = 0; c < C_; ++c) {
+            if (k >= soft_ok_[bank][p][c].size() || !soft_ok_[bank][p][c][k])
+              continue;
+            const double nv = bank_nv_[bank][p][c] > 0.0
+                                  ? bank_nv_[bank][p][c]
+                                  : links_[p][c].est.noise_var;
+            if (nv > nv_cut) continue;
+            const double w = 1.0 / std::max(nv, 1e-6);
+            acc += w * soft_[bank][p][c][k];
+            wsum += w;
+          }
+        if (wsum <= 0.0) continue;
+        pk.decided[k] = body.nearest_point(acc / wsum);
       }
     }
   }
@@ -1025,6 +1241,16 @@ class Engine {
   }
 
   // ------------------------------------------------------------------ data
+  /// ScratchArena slots (owner-scoped; see scratch.h). Call sites sharing a
+  /// slot never have overlapping lifetimes.
+  enum Slot : std::size_t {
+    kSlotImg = 0,   ///< subtract_range chunk image
+    kSlotDImg,      ///< project_refine timing-derivative image
+    kSlotView,      ///< decode_chunk / refinement re-decode view
+    kSlotEstImg,    ///< reestimate_link / refinement fresh full-packet image
+    kSlotEstView,   ///< reestimate_link add-back view
+  };
+
   const DecodeOptions& opt_;
   const phy::ReceiverConfig& rxcfg_;
   std::span<const phy::SenderProfile> profiles_;
@@ -1042,6 +1268,8 @@ class Engine {
   std::vector<std::vector<CVec>> soft_[2];              // [bank][p][c]
   std::vector<std::vector<std::vector<std::uint8_t>>> soft_ok_[2];
   std::vector<std::vector<double>> bank_nv_[2];         // [bank][p][c]
+  mutable sig::ScratchArena arena_;
+  mutable CVec u_scratch_;  ///< render_u output inside render_image*
   std::size_t chunks_ = 0;
   std::size_t stalls_ = 0;
 };

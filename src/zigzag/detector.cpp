@@ -5,7 +5,6 @@
 
 #include "zz/common/mathutil.h"
 #include "zz/phy/preamble.h"
-#include "zz/signal/correlate.h"
 
 namespace zz::zigzag {
 
@@ -13,14 +12,20 @@ CollisionDetector::CollisionDetector(DetectorConfig cfg) : cfg_(cfg) {}
 
 double CollisionDetector::threshold(double snr_linear,
                                     double noise_floor) const {
-  return cfg_.beta * phy::preamble_waveform_energy(cfg_.preamble_len) *
+  return cfg_.beta * cfg_.calibration *
+         phy::preamble_waveform_energy(cfg_.preamble_len) *
          std::sqrt(std::max(snr_linear, 1e-6) * std::max(noise_floor, 1e-12));
+}
+
+sig::SlidingCorrelator& CollisionDetector::correlator() const {
+  if (!corr_)
+    corr_.emplace(phy::preamble_waveform(cfg_.preamble_len));
+  return *corr_;
 }
 
 std::vector<double> CollisionDetector::correlation_profile(
     const CVec& rx, double coarse_freq) const {
-  const CVec corr = sig::sliding_correlation(
-      phy::preamble_waveform(cfg_.preamble_len), rx, coarse_freq);
+  const CVec corr = correlator().correlate(rx, coarse_freq);
   std::vector<double> mag(corr.size());
   for (std::size_t i = 0; i < corr.size(); ++i) mag[i] = std::abs(corr[i]);
   return mag;
@@ -28,39 +33,96 @@ std::vector<double> CollisionDetector::correlation_profile(
 
 std::vector<Detection> CollisionDetector::detect(
     const CVec& rx, std::span<const phy::SenderProfile> profiles) const {
-  const double noise = phy::estimate_noise_floor(rx);
+  const double noise = phy::estimate_noise_floor_robust(rx);
   std::vector<Detection> out;
 
   // The preamble is common to all clients; hypotheses differ only in the
-  // frequency compensation. Find candidate starts under every hypothesis,
-  // then resolve each position's client by comparing the *measured*
-  // preamble phase slope against the clients' association-time offsets —
-  // the correlation magnitude alone barely discriminates, and a wrong
-  // client assignment would seed the decoder with the wrong δf̂.
-  std::vector<std::size_t> positions;
+  // frequency compensation. The stream's block transforms are prepared
+  // once and shared: each client hypothesis costs one reference rotation
+  // plus the inverse transforms, not a fresh O(N·M) correlation. Candidate
+  // starts found under every hypothesis are then resolved to a client by
+  // comparing the *measured* preamble phase slope against the clients'
+  // association-time offsets — the correlation magnitude alone barely
+  // discriminates, and a wrong client assignment would seed the decoder
+  // with the wrong δf̂.
+  sig::SlidingCorrelator& corr = correlator();
+  corr.prepare(rx);
+  if (corr.positions() == 0) return out;
+  const double eref = corr.reference_energy();
+  const std::vector<double> ewin =
+      sig::windowed_energy(rx, corr.reference().size());
+
+  struct Candidate {
+    std::size_t pos;
+    double score;  ///< ρ in threshold units under the hypothesis that found it
+  };
+  std::vector<Candidate> cands;
+  CVec gamma;
+  std::vector<double> rho(corr.positions());
   for (const auto& prof : profiles) {
-    const CVec corr = sig::sliding_correlation(
-        phy::preamble_waveform(cfg_.preamble_len), rx, prof.freq_offset);
-    const double thr = threshold(db_to_lin(prof.snr_db), noise);
-    for (const std::size_t pk : sig::find_peaks(corr, thr, cfg_.min_separation)) {
-      bool merged = false;
-      for (auto& existing : positions)
-        if (std::llabs(static_cast<long long>(existing) -
-                       static_cast<long long>(pk)) <=
-            static_cast<long long>(cfg_.min_separation)) {
-          merged = true;
-          break;
-        }
-      if (!merged) positions.push_back(pk);
-    }
+    corr.correlate(prof.freq_offset, gamma);
+    const double h2 = db_to_lin(prof.snr_db) * std::max(noise, 1e-12);
+    const double peak_ref =
+        cfg_.calibration * eref * std::sqrt(std::max(h2, 1e-12));
+    const double gate = cfg_.energy_gate * eref * h2;
+    for (std::size_t d = 0; d < gamma.size(); ++d)
+      rho[d] = ewin[d] < gate ? 0.0 : std::abs(gamma[d]) / peak_ref;
+    for (const std::size_t pk : sig::find_peaks(rho, cfg_.beta, cfg_.min_separation))
+      cands.push_back({pk, rho[pk]});
+  }
+
+  // Cross-hypothesis dedup by non-maximum suppression: the strongest
+  // candidate claims its neighbourhood. First-hypothesis-wins merging used
+  // to let a weaker spike absorb a true start found under a later client's
+  // compensation.
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  std::vector<std::size_t> positions;
+  for (const auto& c : cands) {
+    bool merged = false;
+    for (const std::size_t existing : positions)
+      if (std::llabs(static_cast<long long>(existing) -
+                     static_cast<long long>(c.pos)) <=
+          static_cast<long long>(cfg_.min_separation)) {
+        merged = true;
+        break;
+      }
+    if (!merged) positions.push_back(c.pos);
   }
 
   for (const std::size_t pk : positions) {
     // Slope-based offset measurement (client-agnostic).
     const auto probe = phy::estimate_at_peak(rx, pk, 0.0, cfg_.preamble_len);
+
+    // Peak-height consistency per client, in (0, 1]: ρ_i ≈ 1 when the
+    // measured |Γ'| matches client i's expected E_pre·ĥ_i. min(ρ, 1/ρ)
+    // ranks both too-weak spikes (threshold grazers) AND too-strong ones
+    // (a stronger packet's data excursion crossing a weaker client's
+    // threshold) below genuine starts, so the max_detections cap and the
+    // decoder's phantom triage keep the real packets. The best consistency
+    // over all clients is the detection's metric; the client itself is
+    // resolved by the measured phase slope among the plausible ones —
+    // magnitude separates power classes, the slope separates within one.
+    // Consistency references the PHYSICAL expectation E_pre·ĥ — κ belongs
+    // to the detection threshold only; folding it in here would make every
+    // true peak score 1/κ and lose to data excursions near a weaker
+    // client's height.
+    std::vector<double> cons(profiles.size());
+    double best_cons = 0.0;
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      const double h2 =
+          db_to_lin(profiles[pi].snr_db) * std::max(noise, 1e-12);
+      const double rho =
+          probe.metric / (eref * std::sqrt(std::max(h2, 1e-12)));
+      cons[pi] = rho > 1.0 ? 1.0 / rho : rho;
+      best_cons = std::max(best_cons, cons[pi]);
+    }
     int best = -1;
     double best_d = 1e9;
     for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      if (cons[pi] < 0.8 * best_cons) continue;  // implausible power class
       const double d = std::abs(probe.freq_offset - profiles[pi].freq_offset);
       if (d < best_d) {
         best_d = d;
@@ -74,7 +136,7 @@ std::vector<Detection> CollisionDetector::detect(
     d.mu = pe.mu;
     d.h = pe.h;
     d.freq_offset = coarse;
-    d.metric = pe.metric;
+    d.metric = best_cons;
     d.profile_index = best;
     out.push_back(d);
   }

@@ -27,6 +27,11 @@
 namespace zz::zigzag {
 
 struct ReceiverOptions {
+  /// The detector itself reports every credible start (its default cap is
+  /// sized for measurement); the live pipeline bounds the decoder's
+  /// phantom-triage work with a tighter cap per reception.
+  ReceiverOptions() { detector.max_detections = 6; }
+
   DecodeOptions decode{};
   DetectorConfig detector{};
   MatchConfig match{};

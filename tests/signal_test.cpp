@@ -7,8 +7,10 @@
 #include "zz/common/mathutil.h"
 #include "zz/common/rng.h"
 #include "zz/signal/correlate.h"
+#include "zz/signal/fft.h"
 #include "zz/signal/fir.h"
 #include "zz/signal/interp.h"
+#include "zz/signal/scratch.h"
 
 namespace zz::sig {
 namespace {
@@ -186,6 +188,134 @@ TEST(Correlate, EmptyAndShortStreams) {
   const CVec ref(8, cplx{1.0, 0.0});
   EXPECT_TRUE(sliding_correlation(ref, CVec(4)).empty());
   EXPECT_TRUE(sliding_correlation(CVec{}, CVec(4)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// FFT engine and the fast/naive correlation equivalence (golden test).
+// ---------------------------------------------------------------------------
+
+TEST(Fft, MatchesNaiveDftAndRoundtrips) {
+  Rng rng(61);
+  const std::size_t n = 64;
+  CVec x(n);
+  for (auto& v : x) v = cplx{rng.gaussian(), rng.gaussian()};
+
+  // Naive DFT reference.
+  CVec ref(n, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t m = 0; m < n; ++m) {
+      const double phi = -kTwoPi * static_cast<double>(k * m) / static_cast<double>(n);
+      ref[k] += x[m] * cplx{std::cos(phi), std::sin(phi)};
+    }
+
+  const Fft fft(n);
+  CVec y = x;
+  fft.forward(y.data());
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_LT(std::abs(y[k] - ref[k]), 1e-10) << "bin " << k;
+
+  fft.inverse(y.data());
+  for (std::size_t k = 0; k < n; ++k)
+    EXPECT_LT(std::abs(y[k] - x[k]), 1e-12) << "sample " << k;
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Fft(0), std::invalid_argument);
+  EXPECT_THROW(Fft(1), std::invalid_argument);
+  EXPECT_THROW(Fft(96), std::invalid_argument);
+}
+
+// The overlap-save engine must reproduce the naive O(N·M) loop to 1e-9 —
+// values, peak positions AND sub-sample peak offsets — including under
+// frequency-offset hypotheses (the detector's Γ').
+TEST(Correlate, FastMatchesNaiveGolden) {
+  Rng rng(62);
+  const CVec ref = random_bpsk(rng, 64);
+  CVec stream(3000);
+  for (auto& v : stream) v = cplx{rng.gaussian(), rng.gaussian()};
+  // Embed the reference twice so there are genuine peaks to compare.
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    stream[400 + k] += 3.0 * ref[k];
+    stream[1777 + k] += 3.0 * ref[k];
+  }
+
+  for (const double df : {0.0, 1.3e-3, -2.0e-3}) {
+    const CVec naive = sliding_correlation_naive(ref, stream, df);
+    const CVec fast = sliding_correlation(ref, stream, df);
+    ASSERT_EQ(naive.size(), fast.size());
+    double worst = 0.0;
+    for (std::size_t d = 0; d < naive.size(); ++d)
+      worst = std::max(worst, std::abs(naive[d] - fast[d]));
+    EXPECT_LT(worst, 1e-9) << "df=" << df;
+
+    const auto pn = find_peaks(naive, 100.0, 16);
+    const auto pf = find_peaks(fast, 100.0, 16);
+    ASSERT_EQ(pn, pf) << "df=" << df;
+    for (const std::size_t pk : pn)
+      EXPECT_NEAR(parabolic_peak_offset(naive, pk),
+                  parabolic_peak_offset(fast, pk), 1e-9);
+  }
+}
+
+// prepare() once, correlate() per hypothesis — the detector's batched use.
+TEST(Correlate, SlidingCorrelatorSharesStreamTransforms) {
+  Rng rng(63);
+  const CVec ref = random_bpsk(rng, 64);
+  CVec stream(2200);
+  for (auto& v : stream) v = cplx{rng.gaussian(), rng.gaussian()};
+
+  SlidingCorrelator corr(ref);
+  corr.prepare(stream);
+  EXPECT_EQ(corr.positions(), stream.size() - ref.size() + 1);
+  CVec out;
+  for (const double df : {5e-4, 0.0, -1.7e-3}) {
+    corr.correlate(df, out);
+    const CVec naive = sliding_correlation_naive(ref, stream, df);
+    ASSERT_EQ(out.size(), naive.size());
+    for (std::size_t d = 0; d < out.size(); ++d)
+      ASSERT_LT(std::abs(out[d] - naive[d]), 1e-9) << "df=" << df << " d=" << d;
+  }
+}
+
+TEST(Correlate, WindowedEnergyMatchesDirectSum) {
+  Rng rng(64);
+  // Longer than the re-anchor block so the compensation path is exercised.
+  CVec stream(5000);
+  for (auto& v : stream) v = cplx{rng.gaussian(), rng.gaussian()};
+  const std::size_t w = 64;
+  const auto fast = windowed_energy(stream, w);
+  ASSERT_EQ(fast.size(), stream.size() - w + 1);
+  for (std::size_t d = 0; d < fast.size(); ++d) {
+    double direct = 0.0;
+    for (std::size_t k = 0; k < w; ++k) direct += std::norm(stream[d + k]);
+    ASSERT_NEAR(fast[d], direct, 1e-9 * std::max(direct, 1.0)) << "d=" << d;
+  }
+  EXPECT_TRUE(windowed_energy(stream, 0).empty());
+  EXPECT_TRUE(windowed_energy(CVec(10), 11).empty());
+}
+
+TEST(Correlate, FindPeaksRealProfileMatchesComplex) {
+  Rng rng(65);
+  CVec corr(300);
+  for (auto& v : corr) v = cplx{rng.gaussian(), rng.gaussian()};
+  corr[77] = {9.0, 0.0};
+  corr[210] = {7.5, 0.0};
+  std::vector<double> mag(corr.size());
+  for (std::size_t i = 0; i < corr.size(); ++i) mag[i] = std::abs(corr[i]);
+  EXPECT_EQ(find_peaks(corr, 5.0, 12), find_peaks(mag, 5.0, 12));
+}
+
+TEST(Scratch, SlotsKeepIdentityAcrossGrowth) {
+  ScratchArena arena;
+  CVec& a = arena.cvec(0, 100);
+  a[0] = cplx{42.0, 0.0};
+  // Materializing a later slot must not invalidate the first reference.
+  CVec& b = arena.czero(5, 1000);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_EQ(a[0], (cplx{42.0, 0.0}));
+  EXPECT_EQ(&a, &arena.cvec(0, 50));
+  auto& d = arena.dvec(2, 64);
+  EXPECT_EQ(d.size(), 64u);
 }
 
 }  // namespace

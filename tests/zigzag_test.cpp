@@ -298,6 +298,71 @@ TEST(Detector, CorrelationProfileSpikesAtSecondPacket) {
   EXPECT_GT(spike, 3.5 * median);
 }
 
+// Regression pins for the calibrated detector: at the paper's β = 0.65
+// operating point, the false-positive and false-negative rates on a fixed
+// seed set must stay near Table 5.1(a)'s 3.1% / 1.9%. The bounds carry
+// slack for the small sample, but a mis-calibration like the one this
+// guards against (90% FP) trips them immediately.
+TEST(Detector, CalibratedFalsePositiveRate) {
+  Rng rng(26);
+  const std::size_t trials = 60;
+  const CollisionDetector det;
+  std::size_t fp = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const double snr = rng.uniform(6.0, 20.0);
+    auto lone = make_party(rng, 1, 7, 200, snr);
+    const CVec rx = chan::clean_reception(rng, lone.frame.symbols, lone.channel);
+    for (const auto& d : det.detect(rx, {&lone.profile, 1}))
+      if (std::llabs(d.origin - 64) > 128) {
+        ++fp;
+        break;
+      }
+  }
+  EXPECT_LE(fp, trials / 5) << "clean-packet FP rate drifted above 20%";
+}
+
+TEST(Detector, CalibratedFalseNegativeRate) {
+  Rng rng(27);
+  const std::size_t trials = 60;
+  const CollisionDetector det;
+  std::size_t fn = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const double snr = rng.uniform(6.0, 20.0);
+    auto s = make_pair_scenario(rng, 200, snr, 300, 700);
+    bool found = false;
+    for (const auto& d : det.detect(s.c1.samples, s.profiles))
+      if (std::llabs(d.origin - s.c1.truth[1].start) <= 16) found = true;
+    if (!found) ++fn;
+  }
+  EXPECT_LE(fn, trials / 8) << "buried-start FN rate drifted above 12.5%";
+}
+
+TEST(Detector, CaptureDisparityKeepsStrongStart) {
+  // A 14 dB power disparity must not let the strong packet's data
+  // excursions evict the true starts (the peak-height consistency metric
+  // guards the max_detections cap).
+  Rng rng(28);
+  std::size_t strong_found = 0;
+  const std::size_t trials = 10;
+  const CollisionDetector det;
+  for (std::size_t i = 0; i < trials; ++i) {
+    auto strong = make_party(rng, 1, 1, 200, 26.0);
+    auto weak = make_party(rng, 2, 2, 200, 12.0);
+    auto c1 = emu::CollisionBuilder()
+                  .lead(64)
+                  .add(strong.frame, strong.channel, 0)
+                  .add(weak.frame, weak.channel, 150)
+                  .build(rng);
+    std::vector<phy::SenderProfile> profiles{strong.profile, weak.profile};
+    for (const auto& d : det.detect(c1.samples, profiles))
+      if (std::llabs(d.origin - c1.truth[0].start) <= 2) {
+        ++strong_found;
+        break;
+      }
+  }
+  EXPECT_GE(strong_found, trials - 1);
+}
+
 TEST(Matcher, SamePacketMatchesAcrossCollisions) {
   Rng rng(24);
   auto s = make_pair_scenario(rng, 300, 10.0, 150, 400);

@@ -34,8 +34,14 @@ struct BenchRun {
   std::vector<std::string> stdout_lines;
 };
 
-// The committed baseline subset (satellite: "table_5_1_micro + fig_5_3_ber").
-const char* const kBaselineBenches[] = {"table_5_1_micro", "fig_5_3_ber"};
+// The committed baseline subset the perf/accuracy trajectory tracks.
+const char* const kBaselineBenches[] = {"table_5_1_micro", "fig_5_3_ber",
+                                        "n_sender_sweep"};
+
+// Benches whose stdout is fully deterministic (sharded RNG, thread-count
+// independent) and therefore diffed verbatim against the committed
+// baseline under --check --baseline.
+const char* const kDriftGated[] = {"n_sender_sweep"};
 
 // The remaining plain-main benches, run only under --all. complexity is
 // excluded: it is a Google Benchmark binary with its own JSON emitter.
@@ -226,6 +232,42 @@ void check_fig_5_3(const BenchRun& r, bool quick) {
                        std::to_string(rows));
 }
 
+// n_sender_sweep: every n = 2..6 must hold its fair ~1/n share under
+// ZigZag (the §5.7 result generalized). The fairness table's rows carry
+// | n | mean tput | fair share | ratio | fairness | loss |; the CDF table
+// above it also has 6-cell rows, so rows only count once the fairness
+// header has been seen.
+void check_n_sender_sweep(const BenchRun& r, bool quick) {
+  const double ratio_min = quick ? 0.85 : 0.90;
+  const double fairness_min = quick ? 0.90 : 0.95;
+  bool in_fair = false;
+  std::size_t rows = 0;
+  for (const auto& line : r.stdout_lines) {
+    const auto cells = row_cells(line);
+    if (cells.size() != 6) continue;
+    if (cells[2] == "fair share") {
+      in_fair = true;
+      continue;
+    }
+    if (!in_fair) continue;
+    char* end = nullptr;
+    const double n = std::strtod(cells[0].c_str(), &end);
+    if (end == cells[0].c_str() || n < 2.0 || n > 6.0) continue;
+    ++rows;
+    const double ratio = std::strtod(cells[3].c_str(), nullptr);
+    const double fairness = std::strtod(cells[4].c_str(), nullptr);
+    check(ratio >= ratio_min, "n_sender_sweep n=" + cells[0] +
+                                  " fair-share ratio " + cells[3] +
+                                  " below " + std::to_string(ratio_min));
+    check(fairness >= fairness_min, "n_sender_sweep n=" + cells[0] +
+                                        " Jain fairness " + cells[4] +
+                                        " below " +
+                                        std::to_string(fairness_min));
+  }
+  check(rows == 5, "n_sender_sweep: expected 5 n-rows, found " +
+                       std::to_string(rows));
+}
+
 // Wall-time guard: ~2.5x the recorded cost of each bench at the given
 // scale; a regression to the old O(N·M) correlation path trips this.
 // --full runs 4x the samples (bench_util run_scale), so its budgets scale.
@@ -233,6 +275,7 @@ void check_wall_time(const BenchRun& r, bool quick, bool full) {
   double budget_ms = 0.0;
   if (r.name == "table_5_1_micro") budget_ms = quick ? 10000.0 : 20000.0;
   if (r.name == "fig_5_3_ber") budget_ms = quick ? 6000.0 : 10000.0;
+  if (r.name == "n_sender_sweep") budget_ms = quick ? 5000.0 : 30000.0;
   if (full) budget_ms *= 4.0;
   if (budget_ms > 0.0)
     check(r.wall_ms <= budget_ms,
@@ -240,15 +283,123 @@ void check_wall_time(const BenchRun& r, bool quick, bool full) {
               std::to_string(budget_ms) + " ms)");
 }
 
-void run_checks(const std::vector<BenchRun>& runs, const std::string& scale) {
+// ------------------------------------------------- baseline drift (--check)
+
+// Minimal reader for the committed baseline: the per-bench "stdout" arrays
+// in their escaped on-disk form, plus the recorded scale.
+struct Baseline {
+  std::string scale;
+  std::vector<std::pair<std::string, std::vector<std::string>>> benches;
+};
+
+std::string strip(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && (s[a] == ' ' || s[a] == '\t')) ++a;
+  while (b > a && (s[b - 1] == ' ' || s[b - 1] == '\t' || s[b - 1] == '\r' ||
+                   s[b - 1] == '\n'))
+    --b;
+  return s.substr(a, b - a);
+}
+
+// Extract the value of a `"key": "value"` line (escaped form, no unescape).
+bool quoted_value(const std::string& line, const std::string& key,
+                  std::string* out) {
+  const std::string prefix = "\"" + key + "\": \"";
+  const auto at = line.find(prefix);
+  if (at == std::string::npos) return false;
+  const auto start = at + prefix.size();
+  auto end = line.rfind('"');
+  if (end == std::string::npos || end <= start) return false;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+bool load_baseline(const std::string& path, Baseline* out) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return false;
+  char buf[1 << 16];
+  std::string cur_name;
+  bool in_stdout = false;
+  while (std::fgets(buf, sizeof buf, f)) {
+    const std::string line = strip(buf);
+    std::string v;
+    if (quoted_value(line, "scale", &v)) {
+      out->scale = v;
+    } else if (quoted_value(line, "name", &v)) {
+      cur_name = v;
+      out->benches.push_back({cur_name, {}});
+    } else if (line.rfind("\"stdout\":", 0) == 0) {
+      // A malformed file can present a stdout array before any bench
+      // name; there is nowhere to attach those lines, so skip the array.
+      in_stdout = !out->benches.empty();
+    } else if (in_stdout) {
+      if (line == "]" || line == "],") {
+        in_stdout = false;
+      } else if (line.size() >= 2 && line.front() == '"') {
+        std::string s = line;
+        if (!s.empty() && s.back() == ',') s.pop_back();
+        if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+          out->benches.back().second.push_back(s.substr(1, s.size() - 2));
+      }
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+// Diff a deterministic bench's captured stdout against the committed
+// baseline (both sides in escaped form). Only meaningful when the run's
+// scale matches the baseline's — the caller guards that.
+void check_drift(const BenchRun& r, const Baseline& base) {
+  for (const auto& [name, lines] : base.benches) {
+    if (name != r.name) continue;
+    std::size_t n = std::max(lines.size(), r.stdout_lines.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string want = i < lines.size() ? lines[i] : "<missing>";
+      const std::string got =
+          i < r.stdout_lines.size() ? json_escape(r.stdout_lines[i])
+                                    : "<missing>";
+      if (want != got) {
+        check(false, r.name + " drifted from baseline at line " +
+                         std::to_string(i + 1) + ": baseline \"" + want +
+                         "\" vs run \"" + got + "\"");
+        return;  // first divergence is enough
+      }
+    }
+    return;
+  }
+  check(false, r.name + " not present in baseline file");
+}
+
+void run_checks(const std::vector<BenchRun>& runs, const std::string& scale,
+                const std::string& baseline_path) {
   const bool quick = scale == "quick";
   const bool full = scale == "full";
+
+  Baseline base;
+  bool have_base = false;
+  if (!baseline_path.empty()) {
+    have_base = load_baseline(baseline_path, &base);
+    check(have_base, "cannot read baseline file " + baseline_path);
+    if (have_base && base.scale != scale) {
+      std::printf(
+          "run_all --check: baseline scale \"%s\" != run scale \"%s\", "
+          "skipping drift diff\n",
+          base.scale.c_str(), scale.c_str());
+      have_base = false;
+    }
+  }
+
   for (const auto& r : runs) {
     check(r.exit_code == 0, r.name + " exited with " +
                                 std::to_string(r.exit_code));
     if (r.name == "table_5_1_micro") check_table_5_1(r, quick);
     if (r.name == "fig_5_3_ber") check_fig_5_3(r, quick);
+    if (r.name == "n_sender_sweep") check_n_sender_sweep(r, quick);
     check_wall_time(r, quick, full);
+    if (have_base)
+      for (const char* const name : kDriftGated)
+        if (r.name == name) check_drift(r, base);
   }
   if (check_failures == 0)
     std::printf("run_all --check: all gates green\n");
@@ -262,6 +413,7 @@ int main(int argc, char** argv) {
   std::string scale = "default";
   std::string bin_dir = dir_of(argv[0]);
   std::string out = "BENCH_decoder.json";
+  std::string baseline_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -277,10 +429,12 @@ int main(int argc, char** argv) {
       bin_dir = argv[++i];
     } else if (a == "--out" && i + 1 < argc) {
       out = argv[++i];
+    } else if (a == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--all] [--quick|--full] [--check] "
-                   "[--bin-dir <dir>] [--out <file>]\n",
+                   "[--baseline <file>] [--bin-dir <dir>] [--out <file>]\n",
                    argv[0]);
       return 2;
     }
@@ -313,6 +467,6 @@ int main(int argc, char** argv) {
   write_json(out, scale, runs);
   std::printf("run_all: wrote %s (%zu benches, %d failed)\n", out.c_str(),
               runs.size(), failures);
-  if (do_check) run_checks(runs, scale);
+  if (do_check) run_checks(runs, scale, baseline_path);
   return failures == 0 && check_failures == 0 ? 0 : 1;
 }

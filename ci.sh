@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verify, executable form. Runs the exact ROADMAP recipe from a clean
-# tree, then smoke-runs the bench driver so the BENCH_*.json path stays live.
+# tree, then the bench driver's regression gates against the committed
+# baseline.
 #
-#   ./ci.sh            # clean configure + build + ctest + bench smoke
+#   ./ci.sh            # clean configure + build + ctest + bench gates
 #   ZZ_KEEP_BUILD=1 ./ci.sh   # reuse an existing build directory
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -16,10 +17,16 @@ cmake -B build -S .
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-# --- Bench smoke + regression gates: the driver parses its own output and
-# fails on detector-accuracy drift, Fig 5-3 BER non-monotonicity, or a
-# >2.5x wall-time blowup of either headline bench. ---
-./build/bench/run_all --quick --check --out build/BENCH_decoder.json
+# --- Bench gates, at the committed baseline's (default) scale: the driver
+# parses its own output and fails on detector-accuracy drift, Fig 5-3 BER
+# non-monotonicity, an n_sender_sweep fair-share ratio below 0.9 of 1/n, a
+# >2.5x wall-time blowup of a headline bench — and, for the deterministic
+# n_sender_sweep, on ANY stdout drift from bench/baselines (the sweep is
+# sharded-RNG reproducible, so a changed digit means changed behavior;
+# regenerate the baseline deliberately when that is intended). ---
+./build/bench/run_all --check \
+  --baseline bench/baselines/BENCH_decoder.json \
+  --out build/BENCH_decoder.json
 test -s build/BENCH_decoder.json
 
 echo "ci.sh: tier-1 green, bench gates green, baseline at build/BENCH_decoder.json"

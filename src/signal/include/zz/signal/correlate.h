@@ -53,6 +53,13 @@ class SlidingCorrelator {
   /// Σ|s[k]|² of the reference (the Γ' normalizer of §4.2.4a).
   double reference_energy() const { return eref_; }
 
+  /// Swap in a new reference of the SAME length (throws otherwise),
+  /// keeping the prepared stream transforms. This is what makes n-way
+  /// packet matching cheap: one prepare() of the new reception serves a
+  /// correlate() against every stored packet segment, each costing only a
+  /// kernel FFT instead of a fresh O(N·M) pass.
+  void set_reference(CVec reference);
+
   /// Block-transform `stream` once; subsequent correlate() calls reuse the
   /// transforms until the next prepare().
   void prepare(const CVec& stream);

@@ -1,376 +1,40 @@
+// Source-compatible fixed-arity wrappers over the n-sender scenario engine
+// (zz/testbed/scenario.h). run_pair reproduces the historical two-sender
+// loop draw-for-draw (tests pin it bit-identical); run_three_hidden maps to
+// the LoggedJoint §5.7 methodology at n = 3.
 #include "zz/testbed/experiment.h"
 
-#include <algorithm>
-#include <optional>
-
-#include "zz/chan/channel.h"
-#include "zz/common/mathutil.h"
-#include "zz/emu/collision.h"
-#include "zz/phy/receiver.h"
-#include "zz/phy/transmitter.h"
-#include "zz/zigzag/decoder.h"
-#include "zz/zigzag/receiver.h"
+#include "zz/testbed/scenario.h"
 
 namespace zz::testbed {
-namespace {
-
-struct Sender {
-  std::uint8_t id;
-  chan::ChannelParams base_channel;
-  phy::SenderProfile profile;
-  std::size_t remaining = 0;
-  std::size_t delivered = 0;
-  std::uint16_t seq = 0;
-  int retries = 0;
-  std::optional<phy::TxFrame> inflight;  ///< packet being (re)transmitted
-
-  phy::TxFrame next_frame(Rng& rng, const ExperimentConfig& cfg) {
-    phy::FrameHeader h;
-    h.sender_id = id;
-    h.seq = seq;
-    h.payload_mod = cfg.mod;
-    h.payload_bytes = static_cast<std::uint16_t>(cfg.payload_bytes);
-    return phy::build_frame(h, rng.bytes(cfg.payload_bytes));
-  }
-};
-
-Sender make_sender(Rng& rng, std::uint8_t id, double snr_db,
-                   const ExperimentConfig& cfg) {
-  Sender s;
-  s.id = id;
-  chan::ImpairmentConfig icfg;
-  icfg.snr_db = snr_db;
-  icfg.freq_offset_max = 2e-3;
-  s.base_channel = chan::random_channel(rng, icfg);
-  s.profile.id = id;
-  s.profile.freq_offset =
-      s.base_channel.freq_offset + rng.uniform(-cfg.freq_jitter, cfg.freq_jitter);
-  s.profile.snr_db = snr_db;
-  s.profile.mod = cfg.mod;
-  s.profile.isi = s.base_channel.isi;
-  if (!s.base_channel.isi.is_identity())
-    s.profile.equalizer = s.base_channel.isi.inverse(7, 3);
-  s.remaining = cfg.packets_per_sender;
-  return s;
-}
-
-// Score a decoded bit stream against the transmitted frame (§5.1f).
-bool delivered_ok(const phy::TxFrame& truth, const phy::FrameHeader& got,
-                  const Bits& air_bits, double threshold) {
-  if (got.sender_id != truth.header.sender_id || got.seq != truth.header.seq)
-    return false;
-  const phy::TxFrame& ref = truth.header.retry == got.retry
-                                ? truth
-                                : phy::with_retry(truth, got.retry);
-  return bit_error_rate(ref.air_bits(), air_bits) < threshold;
-}
-
-// One clean (no-interference) transmission decoded by the standard path.
-bool clean_delivery(Rng& rng, Sender& s, const ExperimentConfig& cfg,
-                    const phy::StandardReceiver& rx) {
-  const phy::TxFrame frame = s.next_frame(rng, cfg);
-  const auto ch = chan::retransmission_channel(rng, s.base_channel, 0.0);
-  const CVec wave = chan::clean_reception(rng, frame.symbols, ch);
-  const auto d = rx.decode(wave, &s.profile);
-  const bool ok = d.header_ok &&
-                  delivered_ok(frame, d.header, d.air_bits, cfg.ber_threshold);
-  ++s.seq;
-  return ok;
-}
-
-void finish_stats(PairStats& stats, const Sender senders[2],
-                  const std::size_t conc_delivered[2]) {
-  for (int i = 0; i < 2; ++i) {
-    stats.flows[i].delivered = senders[i].delivered;
-    stats.flows[i].throughput =
-        stats.airtime_rounds
-            ? static_cast<double>(senders[i].delivered) /
-                  static_cast<double>(stats.airtime_rounds)
-            : 0.0;
-    stats.concurrent_throughput[i] =
-        stats.concurrent_rounds
-            ? static_cast<double>(conc_delivered[i]) /
-                  static_cast<double>(stats.concurrent_rounds)
-            : 0.0;
-  }
-}
-
-}  // namespace
 
 PairStats run_pair(Rng& rng, ReceiverKind kind, double snr_a_db,
                    double snr_b_db, double p_sense,
                    const ExperimentConfig& cfg) {
-  Sender senders[2] = {make_sender(rng, 1, snr_a_db, cfg),
-                       make_sender(rng, 2, snr_b_db, cfg)};
-  PairStats stats;
-  stats.flows[0].offered = stats.flows[1].offered = cfg.packets_per_sender;
+  Scenario sc;
+  sc.senders = {SenderSpec{snr_a_db, 0}, SenderSpec{snr_b_db, 0}};
+  sc.receiver = kind;
+  sc.mode = CollectMode::Live;
+  sc.p_sense = p_sense;
+  sc.cfg = cfg;
+  const ScenarioStats stats = run_scenario(rng, sc);
 
-  const phy::StandardReceiver std_rx;
-  zigzag::ZigZagReceiver zz_rx;
-  zz_rx.add_client(senders[0].profile);
-  zz_rx.add_client(senders[1].profile);
-
-  std::size_t conc_delivered[2] = {0, 0};
-  auto note_concurrent = [&](bool both_active, int i, std::size_t n) {
-    if (both_active) conc_delivered[i] += n;
-  };
-
-  // The Collision-Free Scheduler is pure TDMA: every packet gets a clean
-  // slot; throughput is capped at 1 packet per round.
-  if (kind == ReceiverKind::CollisionFreeScheduler) {
-    std::size_t turn = 0;
-    while (senders[0].remaining || senders[1].remaining) {
-      const bool both = senders[0].remaining && senders[1].remaining;
-      const int idx = senders[turn % 2].remaining ? static_cast<int>(turn % 2)
-                                                  : static_cast<int>((turn + 1) % 2);
-      Sender& s = senders[idx];
-      ++turn;
-      ++stats.airtime_rounds;
-      if (both) ++stats.concurrent_rounds;
-      if (clean_delivery(rng, s, cfg, std_rx)) {
-        ++s.delivered;
-        note_concurrent(both, idx, 1);
-      }
-      --s.remaining;
-    }
-    finish_stats(stats, senders, conc_delivered);
-    return stats;
-  }
-
-  // 802.11 / ZigZag: saturated senders; when both are backlogged and fail
-  // to sense each other, their transmissions collide.
-  while (senders[0].remaining || senders[1].remaining) {
-    const bool both = senders[0].remaining && senders[1].remaining;
-    const bool sensed = both ? rng.chance(p_sense) : true;
-    ++stats.airtime_rounds;
-    if (both) ++stats.concurrent_rounds;
-
-    if (!both || sensed) {
-      // Serialized transmission: one clean packet this round.
-      const int idx = !senders[0].remaining ? 1
-                      : !senders[1].remaining
-                          ? 0
-                          : static_cast<int>(stats.airtime_rounds % 2);
-      Sender& s = senders[idx];
-      if (clean_delivery(rng, s, cfg, std_rx)) {
-        ++s.delivered;
-        note_concurrent(both, idx, 1);
-      }
-      --s.remaining;
-      s.retries = 0;
-      s.inflight.reset();
-      continue;
-    }
-
-    // Collision round: both transmit with random slot jitter.
-    for (auto& s : senders)
-      if (!s.inflight) {
-        s.inflight = s.next_frame(rng, cfg);
-        ++s.seq;
-      }
-    const int cw0 = cfg.timing.cw_after(senders[0].retries);
-    const int cw1 = cfg.timing.cw_after(senders[1].retries);
-    const auto off0 = rng.uniform_int(0, cw0) *
-                      static_cast<std::ptrdiff_t>(cfg.slot_samples);
-    const auto off1 = rng.uniform_int(0, cw1) *
-                      static_cast<std::ptrdiff_t>(cfg.slot_samples);
-    const std::ptrdiff_t base = std::min(off0, off1);
-
-    // Backoff can separate the two transmissions entirely (possible for
-    // short packets); then both go through clean.
-    const auto pkt_samples = static_cast<std::ptrdiff_t>(
-        chan::kSps *
-        static_cast<double>(phy::layout_for(senders[0].inflight->header).total_syms));
-    if (std::abs(off0 - off1) > pkt_samples + 32) {
-      ++stats.airtime_rounds;  // two transmissions this cycle
-      for (int i = 0; i < 2; ++i) {
-        Sender& s = senders[i];
-        const phy::TxFrame frame = phy::with_retry(*s.inflight, s.retries > 0);
-        const auto ch = chan::retransmission_channel(rng, s.base_channel, 0.0);
-        const CVec wave = chan::clean_reception(rng, frame.symbols, ch);
-        bool ok = false;
-        if (kind == ReceiverKind::ZigZag) {
-          for (const auto& d : zz_rx.receive(wave))
-            if (delivered_ok(*s.inflight, d.header, d.air_bits,
-                             cfg.ber_threshold))
-              ok = true;
-        } else {
-          const auto d = std_rx.decode(wave, &s.profile);
-          ok = d.header_ok && delivered_ok(*s.inflight, d.header, d.air_bits,
-                                           cfg.ber_threshold);
-        }
-        if (ok) {
-          ++s.delivered;
-          note_concurrent(true, i, 1);
-          --s.remaining;
-          s.retries = 0;
-          s.inflight.reset();
-        } else if (++s.retries > cfg.timing.retry_limit) {
-          --s.remaining;
-          s.retries = 0;
-          s.inflight.reset();
-        }
-      }
-      continue;
-    }
-
-    emu::CollisionBuilder builder;
-    builder.lead(64);
-    phy::TxFrame frames[2];
-    for (int i = 0; i < 2; ++i) {
-      Sender& s = senders[i];
-      frames[i] = phy::with_retry(*s.inflight, s.retries > 0);
-      builder.add(frames[i],
-                  chan::retransmission_channel(rng, s.base_channel, 0.0),
-                  (i == 0 ? off0 : off1) - base);
-    }
-    const emu::Reception rec = builder.build(rng);
-
-    bool got[2] = {false, false};
-    if (kind == ReceiverKind::ZigZag) {
-      for (const auto& d : zz_rx.receive(rec.samples))
-        for (int i = 0; i < 2; ++i)
-          if (senders[i].inflight &&
-              delivered_ok(*senders[i].inflight, d.header, d.air_bits,
-                           cfg.ber_threshold))
-            got[i] = true;
-    } else {
-      // Stock 802.11 decodes the strongest packet if capture permits.
-      const auto d0 = std_rx.decode(rec.samples, &senders[0].profile);
-      if (d0.header_ok)
-        for (int i = 0; i < 2; ++i)
-          if (senders[i].inflight &&
-              delivered_ok(*senders[i].inflight, d0.header, d0.air_bits,
-                           cfg.ber_threshold))
-            got[i] = true;
-    }
-
-    for (int i = 0; i < 2; ++i) {
-      Sender& s = senders[i];
-      if (got[i]) {
-        ++s.delivered;
-        note_concurrent(true, i, 1);
-        --s.remaining;
-        s.retries = 0;
-        s.inflight.reset();
-      } else if (++s.retries > cfg.timing.retry_limit) {
-        --s.remaining;  // dropped
-        s.retries = 0;
-        s.inflight.reset();
-      }
-    }
-  }
-
-  finish_stats(stats, senders, conc_delivered);
-  return stats;
+  PairStats out;
+  out.flows[0] = stats.flows[0];
+  out.flows[1] = stats.flows[1];
+  out.airtime_rounds = stats.airtime_rounds;
+  out.concurrent_rounds = stats.concurrent_rounds;
+  out.concurrent_throughput[0] = stats.concurrent_throughput[0];
+  out.concurrent_throughput[1] = stats.concurrent_throughput[1];
+  return out;
 }
 
 std::vector<FlowStats> run_three_hidden(Rng& rng, ReceiverKind kind,
                                         double snr_db,
                                         const ExperimentConfig& cfg) {
-  // §5.7 methodology: three hidden senders retransmit the same packets
-  // until the AP has collected one collision per sender (n equations for n
-  // unknowns, §4.5), then the logs are decoded offline. Packet starts come
-  // from the recorded experiment structure; every channel parameter is
-  // estimated from the waveforms.
-  Sender senders[3] = {make_sender(rng, 1, snr_db, cfg),
-                       make_sender(rng, 2, snr_db, cfg),
-                       make_sender(rng, 3, snr_db, cfg)};
-  const phy::StandardReceiver std_rx;
-  std::size_t airtime = 0;
-
-  for (std::size_t round = 0; round < cfg.packets_per_sender; ++round) {
-    phy::TxFrame frames[3];
-    for (int i = 0; i < 3; ++i) {
-      frames[i] = senders[i].next_frame(rng, cfg);
-      ++senders[i].seq;
-    }
-
-    if (kind == ReceiverKind::CollisionFreeScheduler) {
-      for (auto& s : senders) {
-        ++airtime;
-        const auto ch = chan::retransmission_channel(rng, s.base_channel, 0.0);
-        const CVec wave = chan::clean_reception(
-            rng, frames[&s - senders].symbols, ch);
-        const auto d = std_rx.decode(wave, &s.profile);
-        if (d.header_ok && delivered_ok(frames[&s - senders], d.header,
-                                        d.air_bits, cfg.ber_threshold))
-          ++s.delivered;
-      }
-      continue;
-    }
-
-    // Three collisions of the same three packets at fresh offsets.
-    std::vector<emu::Reception> recs;
-    for (int c = 0; c < 3; ++c) {
-      ++airtime;
-      emu::CollisionBuilder builder;
-      builder.lead(64);
-      std::ptrdiff_t offs[3];
-      for (int i = 0; i < 3; ++i)
-        offs[i] = rng.uniform_int(0, cfg.timing.cw_after(c)) *
-                  static_cast<std::ptrdiff_t>(cfg.slot_samples);
-      const std::ptrdiff_t base = *std::min_element(offs, offs + 3);
-      for (int i = 0; i < 3; ++i)
-        builder.add(phy::with_retry(frames[i], c > 0),
-                    chan::retransmission_channel(rng, senders[i].base_channel, 0.0),
-                    offs[i] - base);
-      recs.push_back(builder.build(rng));
-    }
-
-    if (kind == ReceiverKind::Current80211) {
-      // Stock 802.11 gets nothing out of equal-power three-way pileups
-      // unless capture applies; check the strongest-decode path anyway.
-      for (const auto& rec : recs) {
-        const auto d = std_rx.decode(rec.samples, &senders[0].profile);
-        if (!d.header_ok) continue;
-        for (int i = 0; i < 3; ++i)
-          if (delivered_ok(frames[i], d.header, d.air_bits, cfg.ber_threshold))
-            ++senders[i].delivered;
-      }
-      continue;
-    }
-
-    // ZigZag joint decode over the three logged collisions.
-    std::vector<zigzag::CollisionInput> inputs(3);
-    std::vector<phy::SenderProfile> profiles;
-    for (auto& s : senders) profiles.push_back(s.profile);
-    for (int c = 0; c < 3; ++c) {
-      inputs[c].samples = &recs[c].samples;
-      inputs[c].is_retransmission = c > 0;
-      for (int i = 0; i < 3; ++i) {
-        const auto pe = phy::estimate_at_peak(
-            recs[c].samples,
-            static_cast<std::size_t>(recs[c].truth[i].start),
-            senders[i].profile.freq_offset);
-        zigzag::Detection det;
-        det.origin = pe.origin;
-        det.mu = pe.mu;
-        det.h = pe.h;
-        det.freq_offset = senders[i].profile.freq_offset;
-        det.metric = pe.metric;
-        det.profile_index = i;
-        inputs[c].placements.push_back({static_cast<std::size_t>(i), det});
-      }
-    }
-    const zigzag::ZigZagDecoder dec;
-    const auto res = dec.decode({inputs.data(), 3}, profiles, 3);
-    for (int i = 0; i < 3; ++i)
-      if (res.packets[i].header_ok &&
-          delivered_ok(frames[i], res.packets[i].header,
-                       res.packets[i].air_bits, cfg.ber_threshold))
-        ++senders[i].delivered;
-  }
-
-  std::vector<FlowStats> out(3);
-  for (int i = 0; i < 3; ++i) {
-    out[i].offered = cfg.packets_per_sender;
-    out[i].delivered = senders[i].delivered;
-    out[i].throughput = airtime ? static_cast<double>(senders[i].delivered) /
-                                      static_cast<double>(airtime)
-                                : 0.0;
-  }
-  return out;
+  const ScenarioStats stats =
+      run_scenario(rng, hidden_n_scenario(3, snr_db, kind, cfg));
+  return stats.flows;
 }
 
 }  // namespace zz::testbed

@@ -6,6 +6,10 @@
 // — collisions included — mirroring the paper's log-and-decode-offline
 // methodology. Delivery follows §5.1(f): a packet counts when its uncoded
 // BER is below 1e-3.
+//
+// These fixed-arity entry points are source-compatible wrappers over the
+// n-sender scenario engine in zz/testbed/scenario.h — new code (and any
+// n > 3 topology) should describe a Scenario and call run_scenario.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,99 @@
+// The n-sender scenario engine (§5.2, §5.5–§5.7 generalized).
+//
+// A Scenario describes an experiment declaratively — n senders with
+// per-sender SNR and traffic, a receiver design, MAC timing and the way
+// the AP collects equations — and one generic simulation loop runs it.
+// The fixed-arity run_pair / run_three_hidden entry points of
+// zz/testbed/experiment.h are thin wrappers over this engine.
+//
+// Two collection modes mirror the paper's two methodologies:
+//  * Live (§5.2): saturated senders contend under (possibly failing)
+//    carrier sense; every reception is decoded online by the chosen
+//    receiver, collisions included. With two senders this reproduces the
+//    historical run_pair loop draw-for-draw.
+//  * LoggedJoint (§5.7): each round the n senders retransmit the same n
+//    packets until the AP has logged enough collisions (≥ n equations for
+//    n unknowns, §4.5), then the log is decoded offline in one joint
+//    ZigZag decode. Equations are ordered best-conditioned-first
+//    (zigzag::order_equations) and extra equations are requested when the
+//    §4.5 pairwise feasibility condition fails or the decode leaves
+//    packets unresolved — every extra collision costs one airtime round,
+//    exactly like the retransmission it models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "zz/common/rng.h"
+#include "zz/testbed/experiment.h"
+#include "zz/zigzag/decoder.h"
+
+namespace zz::testbed {
+
+/// One sender of a scenario.
+struct SenderSpec {
+  double snr_db = 12.0;
+  /// Packets this sender offers; 0 = ExperimentConfig::packets_per_sender.
+  /// (LoggedJoint rounds are lockstep, so the mode uses the config value
+  /// for every sender.)
+  std::size_t packets = 0;
+};
+
+/// How the AP collects decodable equations.
+enum class CollectMode { Live, LoggedJoint };
+
+/// Decoder tuning for n-way (3+) joint decodes: best-first chunk
+/// scheduling plus a second refinement pass. Measurably fewer decode
+/// failures when every collision carries 3+ overlapped packets; the
+/// two-way live path keeps the stock options.
+zigzag::DecodeOptions nway_decode_options();
+
+struct Scenario {
+  std::vector<SenderSpec> senders;
+  ReceiverKind receiver = ReceiverKind::ZigZag;
+  CollectMode mode = CollectMode::Live;
+  /// Live: probability the contending senders sense each other
+  /// (1 = full carrier sense, 0 = perfect hidden terminals).
+  double p_sense = 0.0;
+  /// LoggedJoint: extra equations the AP may log when feasibility or the
+  /// joint decode fails before giving up on the round's missing packets.
+  std::size_t max_extra_equations = 4;
+  /// LoggedJoint: the senders' standing retry count when a round begins —
+  /// collision c draws its backoff from cw_after(backoff_stage + c).
+  /// Saturated hidden terminals never operate at CWmin (the window only
+  /// resets after a *successful* delivery, and during §5.7 logging there
+  /// is none), so Fig 5-9-style scenarios start elevated; 0 reproduces the
+  /// historical run_three_hidden draw schedule.
+  std::size_t backoff_stage = 0;
+  /// LoggedJoint decode options (ZigZag receiver kind only).
+  zigzag::DecodeOptions joint_decode = nway_decode_options();
+  ExperimentConfig cfg{};
+};
+
+/// Per-run outcome: one FlowStats per sender plus contention-regime
+/// throughput, sized to the scenario's n.
+struct ScenarioStats {
+  std::vector<FlowStats> flows;
+  std::size_t airtime_rounds = 0;
+  std::size_t concurrent_rounds = 0;
+  /// Per-sender throughput while ≥2 senders were backlogged (Fig 5-4/§5.6
+  /// regime; equals flows[i].throughput in LoggedJoint mode where every
+  /// round is contended).
+  std::vector<double> concurrent_throughput;
+
+  double total_throughput() const;
+  /// Jain's fairness index over per-flow throughput: 1 = perfectly fair,
+  /// 1/n = one sender starves the rest. 1 when every flow is zero.
+  double fairness_index() const;
+};
+
+/// Run one scenario. Throws std::invalid_argument on an empty sender list
+/// (and, for LoggedJoint, fewer than two senders).
+ScenarioStats run_scenario(Rng& rng, const Scenario& scenario);
+
+/// Convenience topology: n identical hidden senders at one SNR — the
+/// Fig 5-9 shape for any n.
+Scenario hidden_n_scenario(std::size_t n, double snr_db, ReceiverKind kind,
+                           const ExperimentConfig& cfg = {});
+
+}  // namespace zz::testbed

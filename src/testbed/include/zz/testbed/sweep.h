@@ -1,0 +1,53 @@
+// The n-sender sweep (Fig 5-9 generalized to n = 2..6): hidden-n
+// LoggedJoint scenarios per n, pooled over worker threads with sharded
+// RNG so the results are bit-identical at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "zz/common/thread_pool.h"
+#include "zz/testbed/experiment.h"
+
+namespace zz::testbed {
+
+struct NSenderSweepConfig {
+  std::size_t n_min = 2;
+  std::size_t n_max = 6;
+  std::size_t runs_per_n = 3;  ///< independent scenario repetitions per n
+  std::size_t packets_per_sender = 4;
+  std::size_t payload_bytes = 200;
+  double snr_db = 12.0;
+  std::uint64_t seed = 90;
+  ReceiverKind receiver = ReceiverKind::ZigZag;
+  /// Standard 802.11 CWmax (Appendix A), not ExperimentConfig's tightened
+  /// 127: n-way rounds rely on binary exponential backoff spreading the
+  /// later retransmissions, else n ≥ 5 packets pack into so few slots
+  /// that every equation is ill-conditioned and decode quality collapses.
+  int cw_max = 1023;
+};
+
+struct NSenderSweepPoint {
+  std::size_t n = 0;
+  /// Per-sender throughput of every flow across the runs (n × runs_per_n
+  /// values) — the Fig 5-9 CDF population.
+  std::vector<double> per_sender_throughput;
+  double mean_throughput = 0.0;
+  double fair_share = 0.0;  ///< 1/n
+  double fairness = 0.0;    ///< mean Jain index across runs
+  double mean_loss = 0.0;
+};
+
+struct NSenderSweepResult {
+  std::vector<NSenderSweepPoint> points;  ///< one per n, ascending
+};
+
+/// Runs (n_max - n_min + 1) × runs_per_n scenarios on `pool`. Every run
+/// draws from its own shard_seed(cfg.seed, run_index) stream and lands in
+/// a preallocated slot, so the result is identical for any worker count —
+/// the property the determinism tests pin at 1, 2 and N threads.
+NSenderSweepResult run_n_sender_sweep(const NSenderSweepConfig& cfg,
+                                      ThreadPool& pool);
+
+}  // namespace zz::testbed

@@ -1,0 +1,532 @@
+#include "zz/testbed/scenario.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "zz/chan/channel.h"
+#include "zz/common/mathutil.h"
+#include "zz/emu/collision.h"
+#include "zz/phy/receiver.h"
+#include "zz/phy/transmitter.h"
+#include "zz/zigzag/receiver.h"
+#include "zz/zigzag/scheduler.h"
+
+namespace zz::testbed {
+namespace {
+
+struct Sender {
+  std::uint8_t id;
+  chan::ChannelParams base_channel;
+  phy::SenderProfile profile;
+  std::size_t remaining = 0;
+  std::size_t delivered = 0;
+  std::uint16_t seq = 0;
+  int retries = 0;
+  std::optional<phy::TxFrame> inflight;  ///< packet being (re)transmitted
+
+  phy::TxFrame next_frame(Rng& rng, const ExperimentConfig& cfg) {
+    phy::FrameHeader h;
+    h.sender_id = id;
+    h.seq = seq;
+    h.payload_mod = cfg.mod;
+    h.payload_bytes = static_cast<std::uint16_t>(cfg.payload_bytes);
+    return phy::build_frame(h, rng.bytes(cfg.payload_bytes));
+  }
+};
+
+Sender make_sender(Rng& rng, std::uint8_t id, const SenderSpec& spec,
+                   const ExperimentConfig& cfg) {
+  Sender s;
+  s.id = id;
+  chan::ImpairmentConfig icfg;
+  icfg.snr_db = spec.snr_db;
+  icfg.freq_offset_max = 2e-3;
+  s.base_channel = chan::random_channel(rng, icfg);
+  s.profile.id = id;
+  s.profile.freq_offset =
+      s.base_channel.freq_offset + rng.uniform(-cfg.freq_jitter, cfg.freq_jitter);
+  s.profile.snr_db = spec.snr_db;
+  s.profile.mod = cfg.mod;
+  s.profile.isi = s.base_channel.isi;
+  if (!s.base_channel.isi.is_identity())
+    s.profile.equalizer = s.base_channel.isi.inverse(7, 3);
+  s.remaining = spec.packets ? spec.packets : cfg.packets_per_sender;
+  return s;
+}
+
+// Score a decoded bit stream against the transmitted frame (§5.1f).
+bool delivered_ok(const phy::TxFrame& truth, const phy::FrameHeader& got,
+                  const Bits& air_bits, double threshold) {
+  if (got.sender_id != truth.header.sender_id || got.seq != truth.header.seq)
+    return false;
+  const phy::TxFrame& ref = truth.header.retry == got.retry
+                                ? truth
+                                : phy::with_retry(truth, got.retry);
+  return bit_error_rate(ref.air_bits(), air_bits) < threshold;
+}
+
+// One clean (no-interference) transmission decoded by the standard path.
+bool clean_delivery(Rng& rng, Sender& s, const ExperimentConfig& cfg,
+                    const phy::StandardReceiver& rx) {
+  const phy::TxFrame frame = s.next_frame(rng, cfg);
+  const auto ch = chan::retransmission_channel(rng, s.base_channel, 0.0);
+  const CVec wave = chan::clean_reception(rng, frame.symbols, ch);
+  const auto d = rx.decode(wave, &s.profile);
+  const bool ok = d.header_ok &&
+                  delivered_ok(frame, d.header, d.air_bits, cfg.ber_threshold);
+  ++s.seq;
+  return ok;
+}
+
+// Size-generic flow bookkeeping: spans over the n senders, no fixed arity.
+void finish_stats(ScenarioStats& stats, std::span<const Sender> senders,
+                  std::span<const std::size_t> conc_delivered) {
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    stats.flows[i].delivered = senders[i].delivered;
+    stats.flows[i].throughput =
+        stats.airtime_rounds
+            ? static_cast<double>(senders[i].delivered) /
+                  static_cast<double>(stats.airtime_rounds)
+            : 0.0;
+    stats.concurrent_throughput[i] =
+        stats.concurrent_rounds
+            ? static_cast<double>(conc_delivered[i]) /
+                  static_cast<double>(stats.concurrent_rounds)
+            : 0.0;
+  }
+}
+
+std::vector<std::size_t> active_indices(const std::vector<Sender>& senders) {
+  std::vector<std::size_t> act;
+  for (std::size_t i = 0; i < senders.size(); ++i)
+    if (senders[i].remaining) act.push_back(i);
+  return act;
+}
+
+// ------------------------------------------------------------------- Live
+
+ScenarioStats run_live(Rng& rng, const Scenario& sc) {
+  const std::size_t n = sc.senders.size();
+  const ExperimentConfig& cfg = sc.cfg;
+
+  std::vector<Sender> senders;
+  senders.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    senders.push_back(
+        make_sender(rng, static_cast<std::uint8_t>(i + 1), sc.senders[i], cfg));
+
+  ScenarioStats stats;
+  stats.flows.resize(n);
+  stats.concurrent_throughput.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    stats.flows[i].offered = senders[i].remaining;
+
+  const phy::StandardReceiver std_rx;
+  zigzag::ReceiverOptions zz_opt;
+  // These formulas reduce to the stock defaults at n = 2, so the pair
+  // wrapper reproduces the historical receiver configuration exactly.
+  zz_opt.max_pending = std::max<std::size_t>(4, n + 1);
+  zz_opt.max_joint_receptions = std::max<std::size_t>(3, n);
+  if (n > 2) zz_opt.decode.chunk_order = zigzag::ChunkOrder::BestFirst;
+  zigzag::ZigZagReceiver zz_rx(zz_opt);
+  zz_rx.add_clients(
+      [&] {
+        std::vector<phy::SenderProfile> ps;
+        for (const auto& s : senders) ps.push_back(s.profile);
+        return ps;
+      }());
+
+  std::vector<std::size_t> conc_delivered(n, 0);
+  auto note_concurrent = [&](bool contended, std::size_t i, std::size_t cnt) {
+    if (contended) conc_delivered[i] += cnt;
+  };
+
+  // The Collision-Free Scheduler is pure TDMA: every packet gets a clean
+  // slot; throughput is capped at 1 packet per round.
+  if (sc.receiver == ReceiverKind::CollisionFreeScheduler) {
+    std::size_t turn = 0;
+    for (;;) {
+      const auto act = active_indices(senders);
+      if (act.empty()) break;
+      const bool contended = act.size() >= 2;
+      std::size_t idx = act[0];
+      for (std::size_t o = 0; o < n; ++o) {
+        const std::size_t cand = (turn + o) % n;
+        if (senders[cand].remaining) {
+          idx = cand;
+          break;
+        }
+      }
+      Sender& s = senders[idx];
+      ++turn;
+      ++stats.airtime_rounds;
+      if (contended) ++stats.concurrent_rounds;
+      if (clean_delivery(rng, s, cfg, std_rx)) {
+        ++s.delivered;
+        note_concurrent(contended, idx, 1);
+      }
+      --s.remaining;
+    }
+    finish_stats(stats, senders, conc_delivered);
+    return stats;
+  }
+
+  // 802.11 / ZigZag: saturated senders; when several are backlogged and
+  // fail to sense each other, their transmissions collide.
+  for (;;) {
+    const auto act = active_indices(senders);
+    if (act.empty()) break;
+    const bool contended = act.size() >= 2;
+    const bool sensed = contended ? rng.chance(sc.p_sense) : true;
+    ++stats.airtime_rounds;
+    if (contended) ++stats.concurrent_rounds;
+
+    if (!contended || sensed) {
+      // Serialized transmission: one clean packet this round.
+      const std::size_t idx =
+          act.size() == 1 ? act[0] : act[stats.airtime_rounds % act.size()];
+      Sender& s = senders[idx];
+      if (clean_delivery(rng, s, cfg, std_rx)) {
+        ++s.delivered;
+        note_concurrent(contended, idx, 1);
+      }
+      --s.remaining;
+      s.retries = 0;
+      s.inflight.reset();
+      continue;
+    }
+
+    // Collision round: every backlogged sender transmits with random slot
+    // jitter.
+    for (const std::size_t i : act)
+      if (!senders[i].inflight) {
+        senders[i].inflight = senders[i].next_frame(rng, cfg);
+        ++senders[i].seq;
+      }
+    std::vector<std::ptrdiff_t> offs(act.size());
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      const int cw = cfg.timing.cw_after(senders[act[a]].retries);
+      offs[a] = rng.uniform_int(0, cw) *
+                static_cast<std::ptrdiff_t>(cfg.slot_samples);
+    }
+    const std::ptrdiff_t base = *std::min_element(offs.begin(), offs.end());
+
+    // Backoff can separate all transmissions entirely (possible for short
+    // packets); then each goes through clean.
+    const auto pkt_samples = static_cast<std::ptrdiff_t>(
+        chan::kSps *
+        static_cast<double>(
+            phy::layout_for(senders[act[0]].inflight->header).total_syms));
+    std::vector<std::ptrdiff_t> sorted_offs = offs;
+    std::sort(sorted_offs.begin(), sorted_offs.end());
+    bool all_separate = true;
+    for (std::size_t a = 1; a < sorted_offs.size(); ++a)
+      if (sorted_offs[a] - sorted_offs[a - 1] <= pkt_samples + 32)
+        all_separate = false;
+
+    if (all_separate) {
+      stats.airtime_rounds += act.size() - 1;  // several transmissions
+      for (const std::size_t i : act) {
+        Sender& s = senders[i];
+        const phy::TxFrame frame = phy::with_retry(*s.inflight, s.retries > 0);
+        const auto ch = chan::retransmission_channel(rng, s.base_channel, 0.0);
+        const CVec wave = chan::clean_reception(rng, frame.symbols, ch);
+        bool ok = false;
+        if (sc.receiver == ReceiverKind::ZigZag) {
+          for (const auto& d : zz_rx.receive(wave))
+            if (delivered_ok(*s.inflight, d.header, d.air_bits,
+                             cfg.ber_threshold))
+              ok = true;
+        } else {
+          const auto d = std_rx.decode(wave, &s.profile);
+          ok = d.header_ok && delivered_ok(*s.inflight, d.header, d.air_bits,
+                                           cfg.ber_threshold);
+        }
+        if (ok) {
+          ++s.delivered;
+          note_concurrent(true, i, 1);
+          --s.remaining;
+          s.retries = 0;
+          s.inflight.reset();
+        } else if (++s.retries > cfg.timing.retry_limit) {
+          --s.remaining;
+          s.retries = 0;
+          s.inflight.reset();
+        }
+      }
+      continue;
+    }
+
+    emu::CollisionBuilder builder;
+    builder.lead(64);
+    std::vector<phy::TxFrame> frames(act.size());
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      Sender& s = senders[act[a]];
+      frames[a] = phy::with_retry(*s.inflight, s.retries > 0);
+      builder.add(frames[a],
+                  chan::retransmission_channel(rng, s.base_channel, 0.0),
+                  offs[a] - base);
+    }
+    const emu::Reception rec = builder.build(rng);
+
+    std::vector<bool> got(act.size(), false);
+    if (sc.receiver == ReceiverKind::ZigZag) {
+      for (const auto& d : zz_rx.receive(rec.samples))
+        for (std::size_t a = 0; a < act.size(); ++a)
+          if (senders[act[a]].inflight &&
+              delivered_ok(*senders[act[a]].inflight, d.header, d.air_bits,
+                           cfg.ber_threshold))
+            got[a] = true;
+    } else {
+      // Stock 802.11 decodes the strongest packet if capture permits.
+      const auto d0 = std_rx.decode(rec.samples, &senders[act[0]].profile);
+      if (d0.header_ok)
+        for (std::size_t a = 0; a < act.size(); ++a)
+          if (senders[act[a]].inflight &&
+              delivered_ok(*senders[act[a]].inflight, d0.header, d0.air_bits,
+                           cfg.ber_threshold))
+            got[a] = true;
+    }
+
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      Sender& s = senders[act[a]];
+      if (got[a]) {
+        ++s.delivered;
+        note_concurrent(true, act[a], 1);
+        --s.remaining;
+        s.retries = 0;
+        s.inflight.reset();
+      } else if (++s.retries > cfg.timing.retry_limit) {
+        --s.remaining;  // dropped
+        s.retries = 0;
+        s.inflight.reset();
+      }
+    }
+  }
+
+  finish_stats(stats, senders, conc_delivered);
+  return stats;
+}
+
+// ------------------------------------------------------------ LoggedJoint
+
+ScenarioStats run_logged_joint(Rng& rng, const Scenario& sc) {
+  // §5.7 methodology, n-generic: the senders retransmit the same packets
+  // until the AP has collected enough collisions (n equations for n
+  // unknowns, §4.5, plus any extras the feasibility check or a failed
+  // decode requests), then the logs are decoded offline. Packet starts
+  // come from the recorded experiment structure; every channel parameter
+  // is estimated from the waveforms.
+  const std::size_t n = sc.senders.size();
+  const ExperimentConfig& cfg = sc.cfg;
+
+  std::vector<Sender> senders;
+  senders.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    senders.push_back(
+        make_sender(rng, static_cast<std::uint8_t>(i + 1), sc.senders[i], cfg));
+
+  const phy::StandardReceiver std_rx;
+  std::size_t airtime = 0;
+
+  std::vector<phy::SenderProfile> profiles;
+  for (const auto& s : senders) profiles.push_back(s.profile);
+
+  for (std::size_t round = 0; round < cfg.packets_per_sender; ++round) {
+    std::vector<phy::TxFrame> frames(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      frames[i] = senders[i].next_frame(rng, cfg);
+      ++senders[i].seq;
+    }
+
+    if (sc.receiver == ReceiverKind::CollisionFreeScheduler) {
+      for (std::size_t i = 0; i < n; ++i) {
+        Sender& s = senders[i];
+        ++airtime;
+        const auto ch = chan::retransmission_channel(rng, s.base_channel, 0.0);
+        const CVec wave = chan::clean_reception(rng, frames[i].symbols, ch);
+        const auto d = std_rx.decode(wave, &s.profile);
+        if (d.header_ok &&
+            delivered_ok(frames[i], d.header, d.air_bits, cfg.ber_threshold))
+          ++s.delivered;
+      }
+      continue;
+    }
+
+    // Collisions of the same n packets at fresh backoff offsets. Index c
+    // doubles as the senders' retry count for the contention window.
+    std::vector<emu::Reception> recs;
+    recs.reserve(n + sc.max_extra_equations);
+    const auto log_collision = [&] {
+      const std::size_t c = recs.size();
+      emu::CollisionBuilder builder;
+      builder.lead(64);
+      std::vector<std::ptrdiff_t> offs(n);
+      for (std::size_t i = 0; i < n; ++i)
+        offs[i] = rng.uniform_int(
+                  0, cfg.timing.cw_after(static_cast<int>(sc.backoff_stage + c))) *
+                  static_cast<std::ptrdiff_t>(cfg.slot_samples);
+      const std::ptrdiff_t base = *std::min_element(offs.begin(), offs.end());
+      for (std::size_t i = 0; i < n; ++i)
+        builder.add(phy::with_retry(frames[i], c > 0),
+                    chan::retransmission_channel(rng, senders[i].base_channel, 0.0),
+                    offs[i] - base);
+      recs.push_back(builder.build(rng));
+    };
+    for (std::size_t c = 0; c < n; ++c) log_collision();
+
+    if (sc.receiver == ReceiverKind::Current80211) {
+      // Stock 802.11 gets nothing out of equal-power n-way pileups unless
+      // capture applies; check the strongest-decode path anyway.
+      for (const auto& rec : recs) {
+        const auto d = std_rx.decode(rec.samples, &senders[0].profile);
+        if (!d.header_ok) continue;
+        for (std::size_t i = 0; i < n; ++i)
+          if (delivered_ok(frames[i], d.header, d.air_bits, cfg.ber_threshold))
+            ++senders[i].delivered;
+      }
+      airtime += recs.size();
+      continue;
+    }
+
+    // ZigZag joint decode over the logged collisions, with
+    // scheduler-driven equation selection (§4.5).
+    const std::size_t pkt_syms = phy::layout_for(frames[0].header).total_syms;
+    const auto make_pattern = [&] {
+      zigzag::Pattern pat;
+      pat.lengths.assign(n, pkt_syms);
+      pat.collisions.resize(recs.size());
+      for (std::size_t c = 0; c < recs.size(); ++c) {
+        pat.collisions[c].clear();
+        for (std::size_t i = 0; i < n; ++i)
+          pat.collisions[c].push_back(
+              {i, recs[c].truth[i].start /
+                      static_cast<std::ptrdiff_t>(chan::kSps)});
+      }
+      return pat;
+    };
+
+    std::size_t extra = 0;
+    // Assertion 4.5.1 pre-check: an equation set that cannot possibly
+    // resolve (a packet pair stuck at one relative offset) is topped up
+    // with another retransmission before any decode is attempted.
+    while (extra < sc.max_extra_equations &&
+           !zigzag::pairwise_condition_holds(make_pattern())) {
+      log_collision();
+      ++extra;
+    }
+
+    std::vector<bool> ok(n, false);
+    for (;;) {
+      std::vector<zigzag::CollisionInput> inputs(recs.size());
+      for (std::size_t c = 0; c < recs.size(); ++c) {
+        inputs[c].samples = &recs[c].samples;
+        inputs[c].is_retransmission = c > 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto pe = phy::estimate_at_peak(
+              recs[c].samples, static_cast<std::size_t>(recs[c].truth[i].start),
+              senders[i].profile.freq_offset);
+          zigzag::Detection det;
+          det.origin = pe.origin;
+          det.mu = pe.mu;
+          det.h = pe.h;
+          det.freq_offset = senders[i].profile.freq_offset;
+          det.metric = pe.metric;
+          det.profile_index = static_cast<int>(i);
+          inputs[c].placements.push_back({i, det});
+        }
+      }
+      // Best-conditioned equations first (the decoder's BestFirst chunk
+      // scheduling then refines the same idea per chunk).
+      const auto order = zigzag::order_equations(make_pattern());
+      std::vector<zigzag::CollisionInput> ordered;
+      ordered.reserve(inputs.size());
+      for (const std::size_t c : order) ordered.push_back(std::move(inputs[c]));
+
+      const zigzag::ZigZagDecoder dec(sc.joint_decode);
+      const auto res = dec.decode({ordered.data(), ordered.size()}, profiles, n);
+      for (std::size_t i = 0; i < n; ++i)
+        ok[i] = res.packets[i].header_ok &&
+                delivered_ok(frames[i], res.packets[i].header,
+                             res.packets[i].air_bits, cfg.ber_threshold);
+
+      const bool all_ok = std::all_of(ok.begin(), ok.end(),
+                                      [](bool b) { return b; });
+      if (all_ok || extra >= sc.max_extra_equations) break;
+      // A failed joint decode requests one more equation — the
+      // retransmission the unacknowledged senders would send anyway.
+      log_collision();
+      ++extra;
+    }
+
+    airtime += recs.size();
+    for (std::size_t i = 0; i < n; ++i)
+      if (ok[i]) ++senders[i].delivered;
+  }
+
+  ScenarioStats stats;
+  stats.flows.resize(n);
+  stats.concurrent_throughput.assign(n, 0.0);
+  stats.airtime_rounds = airtime;
+  stats.concurrent_rounds = airtime;  // every round is contended
+  for (std::size_t i = 0; i < n; ++i) {
+    stats.flows[i].offered = cfg.packets_per_sender;
+    stats.flows[i].delivered = senders[i].delivered;
+    stats.flows[i].throughput =
+        airtime ? static_cast<double>(senders[i].delivered) /
+                      static_cast<double>(airtime)
+                : 0.0;
+    stats.concurrent_throughput[i] = stats.flows[i].throughput;
+  }
+  return stats;
+}
+
+}  // namespace
+
+zigzag::DecodeOptions nway_decode_options() {
+  zigzag::DecodeOptions opt;
+  opt.chunk_order = zigzag::ChunkOrder::BestFirst;
+  opt.refinement_passes = 2;
+  return opt;
+}
+
+double ScenarioStats::total_throughput() const {
+  double acc = 0.0;
+  for (const double t : concurrent_throughput) acc += t;
+  return acc;
+}
+
+double ScenarioStats::fairness_index() const {
+  double sum = 0.0, sum2 = 0.0;
+  for (const auto& f : flows) {
+    sum += f.throughput;
+    sum2 += f.throughput * f.throughput;
+  }
+  if (sum2 <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(flows.size()) * sum2);
+}
+
+ScenarioStats run_scenario(Rng& rng, const Scenario& scenario) {
+  if (scenario.senders.empty())
+    throw std::invalid_argument("run_scenario: no senders");
+  if (scenario.mode == CollectMode::LoggedJoint && scenario.senders.size() < 2)
+    throw std::invalid_argument(
+        "run_scenario: LoggedJoint needs at least two senders");
+  return scenario.mode == CollectMode::Live ? run_live(rng, scenario)
+                                            : run_logged_joint(rng, scenario);
+}
+
+Scenario hidden_n_scenario(std::size_t n, double snr_db, ReceiverKind kind,
+                           const ExperimentConfig& cfg) {
+  Scenario sc;
+  sc.senders.assign(n, SenderSpec{snr_db, 0});
+  sc.receiver = kind;
+  sc.mode = n >= 3 ? CollectMode::LoggedJoint : CollectMode::Live;
+  sc.p_sense = 0.0;
+  sc.backoff_stage = 2;  // saturated steady state (see Scenario)
+  sc.cfg = cfg;
+  return sc;
+}
+
+}  // namespace zz::testbed

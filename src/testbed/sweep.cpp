@@ -1,0 +1,59 @@
+#include "zz/testbed/sweep.h"
+
+#include <stdexcept>
+
+#include "zz/testbed/scenario.h"
+
+namespace zz::testbed {
+
+NSenderSweepResult run_n_sender_sweep(const NSenderSweepConfig& cfg,
+                                      ThreadPool& pool) {
+  if (cfg.n_min < 2 || cfg.n_max < cfg.n_min)
+    throw std::invalid_argument("run_n_sender_sweep: need 2 <= n_min <= n_max");
+  const std::size_t num_n = cfg.n_max - cfg.n_min + 1;
+  const std::size_t tasks = num_n * cfg.runs_per_n;
+
+  std::vector<ScenarioStats> outcomes(tasks);
+  pool.parallel_for(tasks, [&](std::size_t t) {
+    const std::size_t n = cfg.n_min + t / cfg.runs_per_n;
+    Rng rng(shard_seed(cfg.seed, t));
+    ExperimentConfig ecfg;
+    ecfg.packets_per_sender = cfg.packets_per_sender;
+    ecfg.payload_bytes = cfg.payload_bytes;
+    ecfg.timing.cw_max = cfg.cw_max;
+    Scenario sc = hidden_n_scenario(n, cfg.snr_db, cfg.receiver, ecfg);
+    // One collection methodology for every n — including n = 2 — so the
+    // fair share is 1/n by construction (n equations per round).
+    sc.mode = CollectMode::LoggedJoint;
+    outcomes[t] = run_scenario(rng, sc);
+  });
+
+  NSenderSweepResult out;
+  out.points.resize(num_n);
+  for (std::size_t ni = 0; ni < num_n; ++ni) {
+    NSenderSweepPoint& pt = out.points[ni];
+    pt.n = cfg.n_min + ni;
+    pt.fair_share = 1.0 / static_cast<double>(pt.n);
+    double loss = 0.0;
+    std::size_t flows = 0;
+    for (std::size_t r = 0; r < cfg.runs_per_n; ++r) {
+      const ScenarioStats& st = outcomes[ni * cfg.runs_per_n + r];
+      for (const auto& f : st.flows) {
+        pt.per_sender_throughput.push_back(f.throughput);
+        pt.mean_throughput += f.throughput;
+        loss += f.loss_rate();
+        ++flows;
+      }
+      pt.fairness += st.fairness_index();
+    }
+    if (flows) {
+      pt.mean_throughput /= static_cast<double>(flows);
+      pt.mean_loss = loss / static_cast<double>(flows);
+    }
+    if (cfg.runs_per_n)
+      pt.fairness /= static_cast<double>(cfg.runs_per_n);
+  }
+  return out;
+}
+
+}  // namespace zz::testbed

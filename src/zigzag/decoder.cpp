@@ -871,19 +871,57 @@ class Engine {
     }
   }
 
+  // Decode the single cleanest available chunk across all collisions: the
+  // run whose residual interference is lowest relative to the link's own
+  // power. Chunks are re-ranked after every decode because each subtraction
+  // changes the interference landscape of everything else.
+  bool decode_best_chunk(bool backward, int bank) {
+    double best_score = 1e30;
+    std::size_t bp = 0, bc = 0, bk0 = 0, bk1 = 0;
+    bool found = false;
+    for (std::size_t c = 0; c < C_; ++c) {
+      for (const auto& pl : inputs_[c].placements) {
+        auto [k0, k1] = find_run(pl.packet, c, backward);
+        k1 = clamp_to_header(pl.packet, k0, k1);
+        if (k1 <= k0) continue;
+        const double own =
+            std::max(std::norm(links_[pl.packet][c].est.params.h), 1e-12);
+        double acc = 0.0;
+        for (std::size_t k = k0; k < k1; ++k)
+          acc += interference_at(pl.packet, c, k);
+        const double score = acc / static_cast<double>(k1 - k0) / own;
+        if (score < best_score) {
+          best_score = score;
+          bp = pl.packet;
+          bc = c;
+          bk0 = k0;
+          bk1 = k1;
+          found = true;
+        }
+      }
+    }
+    if (!found) return false;
+    decode_chunk(bp, bc, bk0, bk1, backward, bank);
+    return true;
+  }
+
   // One full decode pass (forward or backward bootstrap).
   void pass(bool backward) {
     const int bank = backward ? 1 : 0;
     int stall_budget = opt_.max_stall_breaks;
     while (!all_known()) {
       bool progress = false;
-      for (std::size_t c = 0; c < C_; ++c) {
-        for (const auto& pl : inputs_[c].placements) {
-          auto [k0, k1] = find_run(pl.packet, c, backward);
-          k1 = clamp_to_header(pl.packet, k0, k1);
-          if (k1 > k0) {
-            decode_chunk(pl.packet, c, k0, k1, backward, bank);
-            progress = true;
+      if (opt_.chunk_order == ChunkOrder::BestFirst) {
+        progress = decode_best_chunk(backward, bank);
+      } else {
+        for (std::size_t c = 0; c < C_; ++c) {
+          for (const auto& pl : inputs_[c].placements) {
+            auto [k0, k1] = find_run(pl.packet, c, backward);
+            k1 = clamp_to_header(pl.packet, k0, k1);
+            if (k1 > k0) {
+              decode_chunk(pl.packet, c, k0, k1, backward, bank);
+              progress = true;
+            }
           }
         }
       }

@@ -31,6 +31,20 @@
 
 namespace zz::zigzag {
 
+/// How a decode pass orders the interference-free chunks it finds.
+enum class ChunkOrder {
+  /// Walk the collisions in input order and decode every available run as
+  /// it is encountered — the historical behavior, kept as the default so
+  /// existing two-way pipelines reproduce bit-identical results.
+  Input,
+  /// Priority-driven: at each step decode the cleanest available chunk
+  /// (lowest residual interference relative to own power) across all
+  /// collisions. With 3+ overlapped packets this decodes high-SINR
+  /// territory first, so subtraction errors propagate into fewer
+  /// not-yet-decoded symbols — measurably fewer n-way decode failures.
+  BestFirst,
+};
+
 /// Knobs for the decoder; the defaults reproduce the full ZigZag receiver.
 /// The ablation flags correspond to the rows of Table 5.1.
 struct DecodeOptions {
@@ -42,6 +56,7 @@ struct DecodeOptions {
   double capture_sinr_db = 10.0;        ///< SINR for capture decode (BPSK)
   std::size_t interp_half_width = 8;    ///< §4.2.3(b) sinc window, symbols
   int max_stall_breaks = 64;            ///< forced short chunks on stalls
+  ChunkOrder chunk_order = ChunkOrder::Input;
 };
 
 /// One reception handed to the decoder, with the identified packet starts.

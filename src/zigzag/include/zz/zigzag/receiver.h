@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <deque>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "zz/common/types.h"
@@ -38,6 +39,11 @@ struct ReceiverOptions {
   phy::ReceiverConfig rx{};
   std::size_t max_pending = 4;        ///< stored unmatched collisions
   int single_shot_stall_breaks = 2;   ///< fail fast on lone collisions
+  /// Most receptions one joint decode may combine (matched stored
+  /// collisions plus the new one). Two receptions resolve a sender pair;
+  /// n resolve n senders (§4.5). The default keeps the historical
+  /// pair-then-triple behavior; n-sender scenarios raise it to n.
+  std::size_t max_joint_receptions = 3;
 };
 
 /// One packet handed up the stack.
@@ -62,6 +68,8 @@ class ZigZagReceiver {
 
   /// Register a client learned at association time.
   void add_client(const phy::SenderProfile& profile);
+  /// Register n clients uniformly — the n-sender scenario entry point.
+  void add_clients(std::span<const phy::SenderProfile> profiles);
   const std::vector<phy::SenderProfile>& clients() const { return clients_; }
 
   /// Feed one logged reception. Returns every packet decodable *now* —
@@ -97,6 +105,7 @@ class ZigZagReceiver {
   bool fresh(const phy::FrameHeader& h);
 
   ReceiverOptions opt_;
+  PacketMatcher matcher_;  ///< §4.2.2 engine route, reused across receptions
   std::vector<phy::SenderProfile> clients_;
   std::deque<PendingCollision> pending_;
   std::set<std::pair<std::uint8_t, std::uint16_t>> delivered_keys_;

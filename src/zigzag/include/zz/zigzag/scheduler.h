@@ -59,4 +59,19 @@ ScheduleResult greedy_schedule(const Pattern& pattern, std::size_t guard = 0);
 /// one of them appears without the other, which breaks the tie trivially).
 bool pairwise_condition_holds(const Pattern& pattern);
 
+/// Conditioning of one equation (collision) for the greedy schedule: the
+/// minimum pairwise offset separation, in symbols, between any two packets
+/// present in it. Larger is better — a collision whose packets are well
+/// separated yields long interference-free head/tail chunks, so the n-way
+/// zigzag bootstraps from it with the least error propagation. A collision
+/// holding fewer than two packets is trivially clean (max conditioning).
+std::size_t equation_conditioning(const Pattern& pattern, std::size_t collision);
+
+/// Equation-selection order for joint decoding: the collision indices of
+/// `pattern` sorted by decreasing conditioning (ties keep arrival order).
+/// The n-sender scenario engine feeds collisions to the waveform decoder in
+/// this order; the decoder's ChunkOrder::BestFirst then refines the same
+/// idea per chunk.
+std::vector<std::size_t> order_equations(const Pattern& pattern);
+
 }  // namespace zz::zigzag

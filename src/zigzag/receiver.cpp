@@ -21,10 +21,15 @@ CollisionInput make_input(const CVec& samples,
 
 }  // namespace
 
-ZigZagReceiver::ZigZagReceiver(ReceiverOptions opt) : opt_(std::move(opt)) {}
+ZigZagReceiver::ZigZagReceiver(ReceiverOptions opt)
+    : opt_(std::move(opt)), matcher_(opt_.match) {}
 
 void ZigZagReceiver::add_client(const phy::SenderProfile& profile) {
   clients_.push_back(profile);
+}
+
+void ZigZagReceiver::add_clients(std::span<const phy::SenderProfile> profiles) {
+  for (const auto& p : profiles) clients_.push_back(p);
 }
 
 bool ZigZagReceiver::fresh(const phy::FrameHeader& h) {
@@ -79,11 +84,13 @@ std::vector<Delivered> ZigZagReceiver::try_joint(
     for (std::size_t j = 0; j < ds.size(); ++j) {
       double best = 0.0;
       int best_i = -1;
-      for (std::size_t i = 0; i < registry.size(); ++i) {
+      // One prepare() of this detection's comparison window serves every
+      // registry candidate (§4.2.2 through the SlidingCorrelator engine).
+      const bool window_ok = matcher_.prepare(samples, ds[j].origin);
+      for (std::size_t i = 0; window_ok && i < registry.size(); ++i) {
         if (used[i]) continue;
         const auto score =
-            match_same_packet(*registry[i].samples, registry[i].origin,
-                              samples, ds[j].origin, opt_.match);
+            matcher_.score(*registry[i].samples, registry[i].origin);
         if (score.matched && score.score > best) {
           best = score.score;
           best_i = static_cast<int>(i);
@@ -177,30 +184,35 @@ std::vector<Delivered> ZigZagReceiver::receive(const CVec& rx) {
 
   // Unresolved collision: look for matching earlier collisions (§4.2.2).
   // Try every stored reception as a pair partner; if a matched pair still
-  // cannot be decoded (e.g. three-way collisions need a third equation,
-  // §4.5), widen to the two most recent matching receptions.
-  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+  // cannot be decoded (n-way collisions need more equations, §4.5), widen
+  // with consecutive stored receptions up to max_joint_receptions — two
+  // receptions resolve a pair, n resolve n senders.
+  const auto useful_fn = [](const std::vector<Delivered>& ds) {
+    return std::any_of(ds.begin(), ds.end(), [](const Delivered& d) {
+      return d.crc_ok || !d.air_bits.empty();
+    });
+  };
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
     bool matched = false;
-    auto joint_out = try_joint({&*it}, rx, dets, &matched);
+    auto joint_out = try_joint({&pending_[i]}, rx, dets, &matched);
     if (!matched) continue;
-    const bool useful = std::any_of(
-        joint_out.begin(), joint_out.end(),
-        [](const Delivered& d) { return d.crc_ok || !d.air_bits.empty(); });
-    if (useful) {
+    if (useful_fn(joint_out)) {
       out.insert(out.end(), joint_out.begin(), joint_out.end());
-      pending_.erase(it);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
       return out;
     }
-    if (std::next(it) != pending_.end()) {
-      bool matched3 = false;
-      auto triple_out = try_joint({&*it, &*std::next(it)}, rx, dets, &matched3);
-      const bool useful3 = std::any_of(
-          triple_out.begin(), triple_out.end(),
-          [](const Delivered& d) { return d.crc_ok || !d.air_bits.empty(); });
-      if (matched3 && useful3) {
-        out.insert(out.end(), triple_out.begin(), triple_out.end());
-        pending_.erase(std::next(it));
-        pending_.erase(it);
+    std::vector<const PendingCollision*> olds = {&pending_[i]};
+    for (std::size_t j = i + 1;
+         j < pending_.size() && olds.size() + 1 < opt_.max_joint_receptions;
+         ++j) {
+      olds.push_back(&pending_[j]);
+      bool matched_n = false;
+      auto wide_out = try_joint(olds, rx, dets, &matched_n);
+      if (matched_n && useful_fn(wide_out)) {
+        out.insert(out.end(), wide_out.begin(), wide_out.end());
+        for (std::size_t k = j + 1; k-- > i + 1;)  // erase back-to-front
+          pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(k));
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
         return out;
       }
     }

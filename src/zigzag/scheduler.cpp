@@ -88,6 +88,31 @@ ScheduleResult greedy_schedule(const Pattern& pattern, std::size_t guard) {
   return res;
 }
 
+std::size_t equation_conditioning(const Pattern& pattern,
+                                  std::size_t collision) {
+  if (collision >= pattern.collisions.size())
+    throw std::invalid_argument("equation_conditioning: collision out of range");
+  const auto& coll = pattern.collisions[collision];
+  std::size_t best = static_cast<std::size_t>(-1);
+  for (std::size_t a = 0; a < coll.size(); ++a)
+    for (std::size_t b = a + 1; b < coll.size(); ++b) {
+      const auto d = coll[a].offset - coll[b].offset;
+      best = std::min(best, static_cast<std::size_t>(d < 0 ? -d : d));
+    }
+  return best;
+}
+
+std::vector<std::size_t> order_equations(const Pattern& pattern) {
+  std::vector<std::size_t> order(pattern.collisions.size());
+  for (std::size_t c = 0; c < order.size(); ++c) order[c] = c;
+  std::vector<std::size_t> cond(order.size());
+  for (std::size_t c = 0; c < order.size(); ++c)
+    cond[c] = equation_conditioning(pattern, c);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return cond[a] > cond[b]; });
+  return order;
+}
+
 bool pairwise_condition_holds(const Pattern& pattern) {
   const std::size_t npk = pattern.lengths.size();
   // For every unordered pair: the set of relative offsets across collisions

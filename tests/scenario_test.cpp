@@ -1,0 +1,181 @@
+// Pins for the n-sender scenario engine (zz/testbed/scenario.h).
+//
+// The ScenarioPins constants were captured from the pre-refactor
+// fixed-arity run_pair at these exact seeds/configs: the 2-sender wrapper
+// must reproduce them bit-identically (delivered counts, airtime and the
+// derived throughputs), or the engine's generic loop has changed the
+// historical draw order / decision sequence.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "zz/common/thread_pool.h"
+#include "zz/testbed/experiment.h"
+#include "zz/testbed/scenario.h"
+#include "zz/testbed/sweep.h"
+
+namespace zz::testbed {
+namespace {
+
+ExperimentConfig pin_cfg() {
+  ExperimentConfig cfg;
+  cfg.packets_per_sender = 10;
+  cfg.payload_bytes = 200;
+  return cfg;
+}
+
+void expect_pair(const PairStats& r, std::size_t d0, std::size_t d1,
+                 std::size_t airtime, std::size_t conc_rounds,
+                 std::size_t c0, std::size_t c1) {
+  EXPECT_EQ(r.flows[0].delivered, d0);
+  EXPECT_EQ(r.flows[1].delivered, d1);
+  EXPECT_EQ(r.airtime_rounds, airtime);
+  EXPECT_EQ(r.concurrent_rounds, conc_rounds);
+  EXPECT_DOUBLE_EQ(r.flows[0].throughput,
+                   static_cast<double>(d0) / static_cast<double>(airtime));
+  EXPECT_DOUBLE_EQ(r.flows[1].throughput,
+                   static_cast<double>(d1) / static_cast<double>(airtime));
+  EXPECT_DOUBLE_EQ(r.concurrent_throughput[0],
+                   static_cast<double>(c0) / static_cast<double>(conc_rounds));
+  EXPECT_DOUBLE_EQ(r.concurrent_throughput[1],
+                   static_cast<double>(c1) / static_cast<double>(conc_rounds));
+}
+
+TEST(ScenarioPins, HiddenZigZagPairBitIdentical) {
+  Rng rng(42);
+  const auto r = run_pair(rng, ReceiverKind::ZigZag, 11.0, 11.0, 0.0, pin_cfg());
+  expect_pair(r, 6, 7, 60, 59, 5, 7);
+}
+
+TEST(ScenarioPins, Hidden80211PairBitIdentical) {
+  Rng rng(43);
+  const auto r =
+      run_pair(rng, ReceiverKind::Current80211, 11.0, 11.0, 0.0, pin_cfg());
+  expect_pair(r, 0, 0, 80, 80, 0, 0);
+}
+
+TEST(ScenarioPins, SchedulerPairBitIdentical) {
+  Rng rng(44);
+  const auto r = run_pair(rng, ReceiverKind::CollisionFreeScheduler, 12.0, 12.0,
+                          0.0, pin_cfg());
+  expect_pair(r, 10, 10, 20, 19, 10, 9);
+}
+
+TEST(ScenarioPins, CaptureZigZagPairBitIdentical) {
+  Rng rng(45);
+  const auto r = run_pair(rng, ReceiverKind::ZigZag, 26.0, 12.0, 0.0, pin_cfg());
+  expect_pair(r, 10, 10, 14, 10, 10, 6);
+}
+
+TEST(ScenarioPins, PartialSenseZigZagPairBitIdentical) {
+  Rng rng(46);
+  const auto r = run_pair(rng, ReceiverKind::ZigZag, 12.0, 12.0, 0.5, pin_cfg());
+  expect_pair(r, 10, 10, 30, 28, 10, 8);
+}
+
+TEST(ScenarioEngine, WrapperAndScenarioAgree) {
+  // run_pair is a thin wrapper: the same scenario through run_scenario must
+  // give the same numbers from the same seed.
+  Rng rng1(42), rng2(42);
+  const auto wrapped =
+      run_pair(rng1, ReceiverKind::ZigZag, 11.0, 11.0, 0.0, pin_cfg());
+  Scenario sc;
+  sc.senders = {SenderSpec{11.0, 0}, SenderSpec{11.0, 0}};
+  sc.receiver = ReceiverKind::ZigZag;
+  sc.mode = CollectMode::Live;
+  sc.p_sense = 0.0;
+  sc.cfg = pin_cfg();
+  const auto direct = run_scenario(rng2, sc);
+  ASSERT_EQ(direct.flows.size(), 2u);
+  EXPECT_EQ(direct.flows[0].delivered, wrapped.flows[0].delivered);
+  EXPECT_EQ(direct.flows[1].delivered, wrapped.flows[1].delivered);
+  EXPECT_EQ(direct.airtime_rounds, wrapped.airtime_rounds);
+  EXPECT_DOUBLE_EQ(direct.concurrent_throughput[0],
+                   wrapped.concurrent_throughput[0]);
+  EXPECT_DOUBLE_EQ(direct.concurrent_throughput[1],
+                   wrapped.concurrent_throughput[1]);
+}
+
+TEST(ScenarioEngine, ThreeSenderFairnessNearFig59) {
+  // §5.7 / Fig 5-9: three hidden senders each hold a fair ~1/3 share.
+  Rng rng(16);
+  ExperimentConfig cfg;
+  cfg.packets_per_sender = 6;
+  cfg.payload_bytes = 200;
+  const auto st = run_scenario(rng, hidden_n_scenario(3, 12.0,
+                                                      ReceiverKind::ZigZag, cfg));
+  ASSERT_EQ(st.flows.size(), 3u);
+  for (const auto& f : st.flows) {
+    EXPECT_NEAR(f.throughput, 1.0 / 3.0, 0.08);
+    EXPECT_LT(f.loss_rate(), 0.2);
+  }
+  EXPECT_GT(st.fairness_index(), 0.95);
+}
+
+TEST(ScenarioEngine, FourSenderSmokeDecodes) {
+  Rng rng(17);
+  ExperimentConfig cfg;
+  cfg.packets_per_sender = 2;
+  cfg.payload_bytes = 200;
+  const auto st = run_scenario(rng, hidden_n_scenario(4, 12.0,
+                                                      ReceiverKind::ZigZag, cfg));
+  ASSERT_EQ(st.flows.size(), 4u);
+  EXPECT_GE(st.airtime_rounds, 8u);  // >= n collisions per round
+  for (const auto& f : st.flows) {
+    EXPECT_EQ(f.offered, 2u);
+    EXPECT_GE(f.delivered, 1u);  // a 4-way joint decode must mostly work
+  }
+}
+
+TEST(ScenarioEngine, RejectsDegenerateScenarios) {
+  Rng rng(1);
+  Scenario empty;
+  EXPECT_THROW((void)run_scenario(rng, empty), std::invalid_argument);
+  Scenario lone;
+  lone.senders = {SenderSpec{12.0, 0}};
+  lone.mode = CollectMode::LoggedJoint;
+  EXPECT_THROW((void)run_scenario(rng, lone), std::invalid_argument);
+}
+
+TEST(ScenarioEngine, FairnessIndexMath) {
+  ScenarioStats st;
+  st.flows.resize(4);
+  for (auto& f : st.flows) f.throughput = 0.25;
+  EXPECT_DOUBLE_EQ(st.fairness_index(), 1.0);
+  st.flows[1].throughput = st.flows[2].throughput = st.flows[3].throughput = 0.0;
+  EXPECT_DOUBLE_EQ(st.fairness_index(), 0.25);  // one flow hogs: 1/n
+  for (auto& f : st.flows) f.throughput = 0.0;
+  EXPECT_DOUBLE_EQ(st.fairness_index(), 1.0);  // all-zero: vacuously fair
+}
+
+TEST(SweepDeterminism, BitIdenticalAtAnyThreadCount) {
+  // shard_seed gives every run its own stream, so the sweep must be
+  // bit-identical no matter how many workers execute it.
+  NSenderSweepConfig cfg;
+  cfg.n_min = 2;
+  cfg.n_max = 3;
+  cfg.runs_per_n = 2;
+  cfg.packets_per_sender = 2;
+  ThreadPool pool1(1), pool2(2), pool4(4);
+  const auto a = run_n_sender_sweep(cfg, pool1);
+  const auto b = run_n_sender_sweep(cfg, pool2);
+  const auto c = run_n_sender_sweep(cfg, pool4);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  ASSERT_EQ(a.points.size(), c.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    for (const auto* other : {&b.points[i], &c.points[i]}) {
+      EXPECT_EQ(a.points[i].n, other->n);
+      ASSERT_EQ(a.points[i].per_sender_throughput.size(),
+                other->per_sender_throughput.size());
+      for (std::size_t j = 0; j < a.points[i].per_sender_throughput.size(); ++j)
+        EXPECT_EQ(a.points[i].per_sender_throughput[j],
+                  other->per_sender_throughput[j]);  // exact, not NEAR
+      EXPECT_EQ(a.points[i].mean_throughput, other->mean_throughput);
+      EXPECT_EQ(a.points[i].fairness, other->fairness);
+      EXPECT_EQ(a.points[i].mean_loss, other->mean_loss);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zz::testbed

@@ -1,0 +1,148 @@
+// Direct unit coverage for the §4.5 greedy scheduler on 3+ overlapped
+// packets: chunk ordering of the decode schedule, completeness bookkeeping,
+// and the equation-conditioning/selection entry points the n-sender
+// scenario engine drives (previously exercised only through integration
+// paths).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "zz/zigzag/scheduler.h"
+
+namespace zz::zigzag {
+namespace {
+
+// Fig 4-6(a): three packets, three collisions, distinct offset mixes.
+Pattern fig_4_6a() {
+  Pattern p;
+  p.lengths = {100, 100, 100};
+  p.collisions = {{{0, 0}, {1, 20}, {2, 50}},
+                  {{0, 0}, {1, 60}, {2, 20}},
+                  {{0, 0}, {1, 40}, {2, 80}}};
+  return p;
+}
+
+TEST(SchedulerChunkOrder, FirstChunkIsAnInterferenceFreeOverhang) {
+  // Step 1 of §4.5: decode an overhanging interference-free chunk. In
+  // Fig 4-6(a) the earliest such chunk is packet 0's head before the first
+  // interferer arrives at offset 20 in collision 0.
+  const auto res = greedy_schedule(fig_4_6a());
+  ASSERT_TRUE(res.complete);
+  ASSERT_FALSE(res.steps.empty());
+  const auto& first = res.steps.front();
+  EXPECT_EQ(first.collision, 0u);
+  EXPECT_EQ(first.packet, 0u);
+  EXPECT_EQ(first.k0, 0u);
+  EXPECT_EQ(first.k1, 20u);
+}
+
+TEST(SchedulerChunkOrder, EveryChunkBordersDecodedTerritoryOrAnEdge) {
+  // The zigzag propagates: each decoded run either starts at a packet edge
+  // or directly extends symbols decoded by an earlier chunk of the same
+  // packet — there are no disconnected mid-packet islands in the schedule.
+  const auto res = greedy_schedule(fig_4_6a());
+  ASSERT_TRUE(res.complete);
+  std::vector<std::vector<std::uint8_t>> known(3,
+                                               std::vector<std::uint8_t>(100, 0));
+  for (const auto& st : res.steps) {
+    const bool at_edge = st.k0 == 0 || st.k1 == 100;
+    const bool extends_prefix = st.k0 > 0 && known[st.packet][st.k0 - 1];
+    const bool extends_suffix = st.k1 < 100 && known[st.packet][st.k1];
+    EXPECT_TRUE(at_edge || extends_prefix || extends_suffix)
+        << "chunk [" << st.k0 << ", " << st.k1 << ") of packet " << st.packet
+        << " floats free";
+    for (std::size_t k = st.k0; k < st.k1; ++k) known[st.packet][k] = 1;
+  }
+}
+
+TEST(SchedulerChunkOrder, StepsCoverEverySymbolExactlyOnce) {
+  const auto res = greedy_schedule(fig_4_6a());
+  ASSERT_TRUE(res.complete);
+  std::vector<std::vector<int>> cover(3, std::vector<int>(100, 0));
+  for (const auto& st : res.steps) {
+    ASSERT_LT(st.packet, 3u);
+    ASSERT_LE(st.k1, 100u);
+    for (std::size_t k = st.k0; k < st.k1; ++k) ++cover[st.packet][k];
+  }
+  for (const auto& pkt : cover)
+    for (const int c : pkt) EXPECT_EQ(c, 1);
+  EXPECT_TRUE(res.undecoded_packets.empty());
+}
+
+TEST(SchedulerChunkOrder, ThreePacketsNeedAThirdEquation) {
+  // Two collisions of three mutually-overlapped packets leave one packet
+  // pair tied (Assertion 4.5.1 needs n equations for n unknowns here).
+  Pattern p;
+  p.lengths = {100, 100, 100};
+  p.collisions = {{{0, 0}, {1, 20}, {2, 50}}, {{0, 0}, {1, 60}, {2, 20}}};
+  const auto res = greedy_schedule(p);
+  EXPECT_FALSE(res.complete);
+  EXPECT_FALSE(res.undecoded_packets.empty());
+  // Adding the third distinct-offset collision resolves it.
+  p.collisions.push_back({{0, 0}, {1, 40}, {2, 80}});
+  EXPECT_TRUE(greedy_schedule(p).complete);
+}
+
+TEST(SchedulerChunkOrder, FivePacketsFiveRotatedCollisionsDecode) {
+  // n = 5 packets × 5 collisions with rotated offset assignments — the
+  // n-sender sweep's geometry in the abstract.
+  Pattern p;
+  const std::size_t n = 5;
+  p.lengths.assign(n, 200);
+  const std::ptrdiff_t offs[n] = {0, 35, 90, 140, 260};
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<Pattern::Placement> coll;
+    for (std::size_t i = 0; i < n; ++i)
+      coll.push_back({i, offs[(i + c) % n]});
+    p.collisions.push_back(coll);
+  }
+  const auto res = greedy_schedule(p);
+  EXPECT_TRUE(res.complete);
+  EXPECT_TRUE(pairwise_condition_holds(p));
+}
+
+TEST(SchedulerChunkOrder, GuardCanStarveTightOffsets) {
+  // A guard wider than the offset gap erases the bootstrap chunk.
+  Pattern p;
+  p.lengths = {100, 100};
+  p.collisions = {{{0, 0}, {1, 4}}, {{0, 0}, {1, 8}}};
+  EXPECT_TRUE(greedy_schedule(p, 0).complete);
+  EXPECT_FALSE(greedy_schedule(p, 16).complete);
+}
+
+TEST(EquationSelection, ConditioningIsMinPairwiseSeparation) {
+  Pattern p;
+  p.lengths = {100, 100, 100};
+  p.collisions = {{{0, 0}, {1, 7}, {2, 90}},    // min gap 7
+                  {{0, 0}, {1, 55}, {2, 110}},  // min gap 55
+                  {{0, 12}, {1, 12}, {2, 40}},  // duplicate offsets: 0
+                  {{0, 5}}};                    // lone packet: unconstrained
+  EXPECT_EQ(equation_conditioning(p, 0), 7u);
+  EXPECT_EQ(equation_conditioning(p, 1), 55u);
+  EXPECT_EQ(equation_conditioning(p, 2), 0u);
+  EXPECT_EQ(equation_conditioning(p, 3), static_cast<std::size_t>(-1));
+  EXPECT_THROW((void)equation_conditioning(p, 4), std::invalid_argument);
+}
+
+TEST(EquationSelection, OrdersBestConditionedFirstKeepingTies) {
+  Pattern p;
+  p.lengths = {100, 100};
+  p.collisions = {{{0, 0}, {1, 10}},   // 10
+                  {{0, 0}, {1, 80}},   // 80
+                  {{0, 0}, {1, 10}},   // 10 again (tie with collision 0)
+                  {{0, 0}, {1, 40}}};  // 40
+  const auto order = order_equations(p);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 0u);  // stable: arrival order within the tie
+  EXPECT_EQ(order[3], 2u);
+}
+
+TEST(EquationSelection, EmptyPatternYieldsEmptyOrder) {
+  EXPECT_TRUE(order_equations(Pattern{}).empty());
+}
+
+}  // namespace
+}  // namespace zz::zigzag

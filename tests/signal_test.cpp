@@ -257,6 +257,37 @@ TEST(Correlate, FastMatchesNaiveGolden) {
   }
 }
 
+// set_reference() swaps the reference while keeping the prepared stream —
+// the n-way matcher's reuse pattern. Must equal a fresh correlator.
+TEST(Correlate, SetReferenceReusesPreparedStream) {
+  Rng rng(65);
+  const CVec ref_a = random_bpsk(rng, 96);
+  const CVec ref_b = random_bpsk(rng, 96);
+  CVec stream(2048);
+  for (auto& v : stream) v = cplx{rng.gaussian(), rng.gaussian()};
+
+  SlidingCorrelator corr(ref_a);
+  corr.prepare(stream);
+  CVec out;
+  corr.correlate(0.0, out);
+  const CVec fresh_a = SlidingCorrelator(ref_a).correlate(stream);
+  ASSERT_EQ(out.size(), fresh_a.size());
+  for (std::size_t d = 0; d < out.size(); ++d)
+    EXPECT_LT(std::abs(out[d] - fresh_a[d]), 1e-12);
+
+  corr.set_reference(ref_b);
+  double eb = 0.0;
+  for (const cplx& v : ref_b) eb += std::norm(v);
+  EXPECT_NEAR(corr.reference_energy(), eb, 1e-9);
+  corr.correlate(0.0, out);
+  const CVec fresh_b = SlidingCorrelator(ref_b).correlate(stream);
+  ASSERT_EQ(out.size(), fresh_b.size());
+  for (std::size_t d = 0; d < out.size(); ++d)
+    EXPECT_LT(std::abs(out[d] - fresh_b[d]), 1e-9);
+
+  EXPECT_THROW(corr.set_reference(random_bpsk(rng, 64)), std::invalid_argument);
+}
+
 // prepare() once, correlate() per hypothesis — the detector's batched use.
 TEST(Correlate, SlidingCorrelatorSharesStreamTransforms) {
   Rng rng(63);

@@ -381,6 +381,59 @@ TEST(Matcher, DifferentPacketsDoNotMatch) {
   EXPECT_FALSE(score.matched);
 }
 
+// The SlidingCorrelator route must reproduce the naive single-alignment
+// reference bit-for-bit in score and verdict (golden equivalence, 1e-9).
+TEST(Matcher, EngineRouteMatchesNaiveGolden) {
+  Rng rng(26);
+  PacketMatcher engine;
+  std::size_t compared = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    auto s = make_pair_scenario(rng, 300, 10.0, 150, 400);
+    // Same-packet, cross-packet and noise-start hypotheses, plus starts
+    // near the buffer tail where the compared span truncates.
+    const std::ptrdiff_t starts1[] = {
+        s.c1.truth[0].start, s.c1.truth[1].start,
+        static_cast<std::ptrdiff_t>(s.c1.samples.size()) - 300};
+    const std::ptrdiff_t starts2[] = {
+        s.c2.truth[0].start, s.c2.truth[1].start, 3,
+        static_cast<std::ptrdiff_t>(s.c2.samples.size()) - 280};
+    for (const auto st1 : starts1)
+      for (const auto st2 : starts2) {
+        const auto naive =
+            match_same_packet(s.c1.samples, st1, s.c2.samples, st2);
+        const auto fast =
+            engine.match(s.c1.samples, st1, s.c2.samples, st2);
+        EXPECT_NEAR(fast.score, naive.score, 1e-9)
+            << "st1=" << st1 << " st2=" << st2;
+        EXPECT_EQ(fast.matched, naive.matched)
+            << "st1=" << st1 << " st2=" << st2;
+        EXPECT_EQ(fast.lag, 0);
+        ++compared;
+      }
+  }
+  EXPECT_EQ(compared, 36u);
+}
+
+// One prepare() serves many candidates, and a non-zero slack recovers a
+// misaligned start hypothesis (origin jitter between receptions).
+TEST(Matcher, SlackRecoversMisalignedStart) {
+  Rng rng(27);
+  auto s = make_pair_scenario(rng, 300, 20.0, 150, 400);
+  MatchConfig cfg;
+  cfg.slack = 8;
+  PacketMatcher engine(cfg);
+  // Hypothesize Bob's start in c2 five samples early: the true alignment
+  // sits at lag +5 inside the slack window.
+  ASSERT_TRUE(engine.prepare(s.c2.samples, s.c2.truth[1].start - 5));
+  const auto score = engine.score(s.c1.samples, s.c1.truth[1].start);
+  EXPECT_TRUE(score.matched);
+  EXPECT_EQ(score.lag, 5);
+  // And the aligned exact score is at least the zero-slack one.
+  const auto exact = match_same_packet(s.c1.samples, s.c1.truth[1].start,
+                                       s.c2.samples, s.c2.truth[1].start);
+  EXPECT_GE(score.score, exact.score - 1e-9);
+}
+
 // ---------------------------------------------------------------------------
 // Full decoder.
 // ---------------------------------------------------------------------------

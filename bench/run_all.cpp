@@ -4,8 +4,9 @@
 // Usage:
 //   run_all [--all] [--quick | --full] [--check] [--bin-dir <dir>] [--out <file>]
 //
-// The default set (table_5_1_micro, fig_5_3_ber) is the decoder baseline
-// the ROADMAP's perf trajectory tracks; --all additionally runs every other
+// The default set (table_5_1_micro, fig_5_3_ber, n_sender_sweep,
+// baseline_comparison) is the baseline the ROADMAP's perf/accuracy
+// trajectory tracks; --all additionally runs every other
 // fig_*/table_*/lemma_* bench. Each bench's stdout is captured verbatim
 // into the JSON together with its wall-clock time, so later PRs can diff
 // both the numbers and the cost of producing them.
@@ -13,8 +14,10 @@
 // --check turns the driver into a regression gate: it parses the captured
 // tables and fails the run when the detector accuracy drifts off the
 // Table 5.1(a) operating point, the Fig 5-3 BER curve loses its
-// monotonicity (the high-SNR anomaly this repo once shipped), or a bench's
-// wall time blows past ~2.5x its recorded cost.
+// monotonicity (the high-SNR anomaly this repo once shipped), an n-sender
+// fairness or head-to-head ordering gate breaks (n_sender_sweep,
+// baseline_comparison), or a bench's wall time blows past ~2.5x its
+// recorded cost.
 #include <sys/wait.h>
 
 #include <chrono>
@@ -36,12 +39,13 @@ struct BenchRun {
 
 // The committed baseline subset the perf/accuracy trajectory tracks.
 const char* const kBaselineBenches[] = {"table_5_1_micro", "fig_5_3_ber",
-                                        "n_sender_sweep"};
+                                        "n_sender_sweep",
+                                        "baseline_comparison"};
 
 // Benches whose stdout is fully deterministic (sharded RNG, thread-count
 // independent) and therefore diffed verbatim against the committed
 // baseline under --check --baseline.
-const char* const kDriftGated[] = {"n_sender_sweep"};
+const char* const kDriftGated[] = {"n_sender_sweep", "baseline_comparison"};
 
 // The remaining plain-main benches, run only under --all. complexity is
 // excluded: it is a Google Benchmark binary with its own JSON emitter.
@@ -268,6 +272,64 @@ void check_n_sender_sweep(const BenchRun& r, bool quick) {
                        std::to_string(rows));
 }
 
+// baseline_comparison: the head-to-head ordering must hold at every
+// n = 2..6 (see bench/README.md for the documented bands):
+//   * zigzag mean per-sender throughput >= stock 802.11's (the paper's
+//     core claim, generalized),
+//   * algebraic-mp within [kMpBandLo, kMpBandHi] of zigzag — clearly
+//     working (it decodes the same logs) but not mysteriously beating the
+//     full §4.2.4 tracking receiver,
+//   * slotted-ALOHA-zigzag above a positive floor (collision recovery
+//     working despite idle slots and k>2 pileups).
+// Rows are parsed from the 7-cell CDF table: | n | receiver | p0 | p50 |
+// p100 | mean tput | mean loss |.
+void check_baseline_comparison(const BenchRun& r, bool quick) {
+  const double mp_lo = quick ? 0.45 : 0.60;
+  const double mp_hi = quick ? 1.15 : 1.05;
+  const double slotted_min = quick ? 0.03 : 0.04;
+  struct Row {
+    double zz = -1.0, mp = -1.0, slotted = -1.0, dot11 = -1.0;
+  };
+  Row rows[7];  // indexed by n
+  std::size_t seen = 0;
+  for (const auto& line : r.stdout_lines) {
+    const auto cells = row_cells(line);
+    if (cells.size() != 7 || cells[1] == "receiver") continue;
+    char* end = nullptr;
+    const double nd = std::strtod(cells[0].c_str(), &end);
+    if (end == cells[0].c_str() || nd < 2.0 || nd > 6.0) continue;
+    const auto n = static_cast<std::size_t>(nd);
+    const double mean = std::strtod(cells[5].c_str(), nullptr);
+    if (cells[1] == "zigzag") rows[n].zz = mean;
+    else if (cells[1] == "algebraic-mp") rows[n].mp = mean;
+    else if (cells[1] == "slotted-zz") rows[n].slotted = mean;
+    else if (cells[1] == "802.11") rows[n].dot11 = mean;
+    else continue;
+    ++seen;
+  }
+  check(seen == 20, "baseline_comparison: expected 20 head rows, found " +
+                        std::to_string(seen));
+  for (std::size_t n = 2; n <= 6; ++n) {
+    const Row& row = rows[n];
+    if (row.zz < 0.0 || row.mp < 0.0 || row.slotted < 0.0 || row.dot11 < 0.0)
+      continue;  // the row-count check already fired
+    const std::string at = " at n=" + std::to_string(n);
+    check(row.zz >= row.dot11, "baseline_comparison: zigzag throughput " +
+                                   std::to_string(row.zz) + " below 802.11 " +
+                                   std::to_string(row.dot11) + at);
+    check(row.zz > 0.0, "baseline_comparison: zigzag throughput zero" + at);
+    const double ratio = row.zz > 0.0 ? row.mp / row.zz : 0.0;
+    check(ratio >= mp_lo && ratio <= mp_hi,
+          "baseline_comparison: algebraic-mp/zigzag ratio " +
+              std::to_string(ratio) + " outside [" + std::to_string(mp_lo) +
+              ", " + std::to_string(mp_hi) + "]" + at);
+    check(row.slotted >= slotted_min,
+          "baseline_comparison: slotted-zz throughput " +
+              std::to_string(row.slotted) + " below " +
+              std::to_string(slotted_min) + at);
+  }
+}
+
 // Wall-time guard: ~2.5x the recorded cost of each bench at the given
 // scale; a regression to the old O(N·M) correlation path trips this.
 // --full runs 4x the samples (bench_util run_scale), so its budgets scale.
@@ -276,6 +338,7 @@ void check_wall_time(const BenchRun& r, bool quick, bool full) {
   if (r.name == "table_5_1_micro") budget_ms = quick ? 10000.0 : 20000.0;
   if (r.name == "fig_5_3_ber") budget_ms = quick ? 6000.0 : 10000.0;
   if (r.name == "n_sender_sweep") budget_ms = quick ? 5000.0 : 30000.0;
+  if (r.name == "baseline_comparison") budget_ms = quick ? 10000.0 : 40000.0;
   if (full) budget_ms *= 4.0;
   if (budget_ms > 0.0)
     check(r.wall_ms <= budget_ms,
@@ -396,6 +459,7 @@ void run_checks(const std::vector<BenchRun>& runs, const std::string& scale,
     if (r.name == "table_5_1_micro") check_table_5_1(r, quick);
     if (r.name == "fig_5_3_ber") check_fig_5_3(r, quick);
     if (r.name == "n_sender_sweep") check_n_sender_sweep(r, quick);
+    if (r.name == "baseline_comparison") check_baseline_comparison(r, quick);
     check_wall_time(r, quick, full);
     if (have_base)
       for (const char* const name : kDriftGated)

@@ -29,4 +29,33 @@ cmake --build build -j "$(nproc)"
   --out build/BENCH_decoder.json
 test -s build/BENCH_decoder.json
 
-echo "ci.sh: tier-1 green, bench gates green, baseline at build/BENCH_decoder.json"
+# --- Docs-consistency: every src/<module> must appear in the README module
+# map and docs/PAPER_MAP.md, and every bench target (the ZZ_BENCHES list
+# plus run_all/complexity) must appear in docs/PAPER_MAP.md — so the
+# paper-to-code map cannot silently rot as modules and benches are added.
+docs_fail=0
+for d in src/*/; do
+  m="$(basename "$d")"
+  grep -q "| \`$m\`" README.md || {
+    echo "docs-consistency: README.md module map is missing \`$m\`"
+    docs_fail=1
+  }
+  grep -q "src/$m/" docs/PAPER_MAP.md || {
+    echo "docs-consistency: docs/PAPER_MAP.md does not mention module src/$m/"
+    docs_fail=1
+  }
+done
+benches="$(sed -n '/^set(ZZ_BENCHES$/,/)$/p' bench/CMakeLists.txt \
+  | sed -e 's/set(ZZ_BENCHES//' -e 's/)//' ) run_all complexity"
+for b in $benches; do
+  grep -q "\`$b\`" docs/PAPER_MAP.md || {
+    echo "docs-consistency: docs/PAPER_MAP.md does not mention bench \`$b\`"
+    docs_fail=1
+  }
+done
+if [[ "$docs_fail" -ne 0 ]]; then
+  echo "ci.sh: docs-consistency check FAILED"
+  exit 1
+fi
+
+echo "ci.sh: tier-1 green, bench gates green, docs consistent, baseline at build/BENCH_decoder.json"

@@ -144,6 +144,17 @@ void render(CVec& buf, std::ptrdiff_t offset, const CVec& symbols,
 
 }  // namespace
 
+double pulse(double x, std::size_t interp_half_width) {
+  // Direct evaluation of the pulse the render loop above advances by
+  // rotors: pulse_value(x) with sin/cos computed at x.
+  const double hw = static_cast<double>(interp_half_width) * kSps;
+  if (std::abs(x) >= hw) return 0.0;
+  const double w = 0.5 * (1.0 + std::cos(kPi * x / hw));
+  const double u = x / kSps;
+  const double s = std::abs(u) < 1e-8 ? 1.0 : std::sin(kPi * u) / (kPi * u);
+  return s * w;
+}
+
 ChannelParams random_channel(Rng& rng, const ImpairmentConfig& cfg) {
   ChannelParams p;
   const double amp = std::sqrt(db_to_lin(cfg.snr_db));

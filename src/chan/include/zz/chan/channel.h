@@ -60,6 +60,14 @@ ChannelParams random_channel(Rng& rng, const ImpairmentConfig& cfg);
 ChannelParams retransmission_channel(Rng& rng, const ChannelParams& first,
                                      double freq_jitter = 0.0);
 
+/// The half-band transmit pulse at offset `x` samples from a symbol centre:
+/// a Hann-windowed sinc with window half-width interp_half_width·kSps, zero
+/// at every other symbol centre. This is THE pulse `add_signal` renders
+/// with (its hot loop evaluates the same function via fixed-angle rotors);
+/// receivers that need a pointwise coefficient — e.g. the algebraic-MP
+/// elimination — must use this definition, never a private copy.
+double pulse(double x, std::size_t interp_half_width = 8);
+
 /// Render `symbols` through `p` and accumulate into `buf`, with the packet's
 /// symbol k arriving at continuous buffer time `offset + kSps·k + p.mu
 /// (1+drift)`. `offset` is in samples. `scale` multiplies the contribution

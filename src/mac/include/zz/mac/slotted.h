@@ -1,0 +1,37 @@
+// Slotted-ALOHA MAC timing — the access scheme of the "Enhanced Slotted
+// Aloha by ZigZag Decoding" variant (arXiv:1501.00976).
+//
+// Time is divided into packet-sized slots. Every backlogged sender
+// transmits in a slot with probability p, aligned to the slot boundary up
+// to a synchronisation error. Colliding packets are retransmitted (with the
+// same per-slot probability) until delivered or the retry limit drops them.
+// The per-slot sync error is what feeds the zigzag decoder: two collisions
+// of the same packet pair land at different residual offsets, giving the
+// chunk structure §4.3 needs.
+#pragma once
+
+#include <cstddef>
+
+#include "zz/common/rng.h"
+
+namespace zz::mac {
+
+struct SlottedTiming {
+  /// Per-slot transmission probability of a backlogged sender.
+  /// 0 = "auto": the throughput-optimal 1/n for n backlogged senders.
+  double tx_prob = 0.0;
+  /// Maximum slot-boundary synchronisation error, in samples. Uniform per
+  /// transmission; retransmissions re-draw it.
+  std::size_t sync_jitter = 96;
+  /// Consecutive failed slots before a packet is dropped.
+  int retry_limit = 7;
+
+  /// The probability actually used for `backlogged` contending senders.
+  double effective_tx_prob(std::size_t backlogged) const;
+  /// Draw this transmission's slot-boundary offset (samples).
+  std::ptrdiff_t draw_sync_offset(Rng& rng) const;
+  /// Does a backlogged sender transmit this slot?
+  bool draw_transmit(Rng& rng, std::size_t backlogged) const;
+};
+
+}  // namespace zz::mac

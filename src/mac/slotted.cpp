@@ -1,0 +1,23 @@
+#include "zz/mac/slotted.h"
+
+#include <algorithm>
+
+namespace zz::mac {
+
+double SlottedTiming::effective_tx_prob(std::size_t backlogged) const {
+  if (tx_prob > 0.0) return std::min(tx_prob, 1.0);
+  // Slotted ALOHA's throughput-optimal attempt rate: one expected
+  // transmission per slot across the backlog.
+  return 1.0 / static_cast<double>(std::max<std::size_t>(backlogged, 1));
+}
+
+std::ptrdiff_t SlottedTiming::draw_sync_offset(Rng& rng) const {
+  if (sync_jitter == 0) return 0;
+  return rng.uniform_int(0, static_cast<int>(sync_jitter));
+}
+
+bool SlottedTiming::draw_transmit(Rng& rng, std::size_t backlogged) const {
+  return rng.chance(effective_tx_prob(backlogged));
+}
+
+}  // namespace zz::mac

@@ -45,9 +45,11 @@ Bits encode_header(const FrameHeader& h) {
 
 std::optional<FrameHeader> decode_header(const Bits& bits) {
   if (bits.size() < kHeaderBits) return std::nullopt;
-  Bits body(bits.begin(), bits.begin() + 40);
-  std::size_t pos = 40;
-  const auto hcs = static_cast<std::uint8_t>(get_bits(bits, pos, 8));
+  Bits body(bits.begin(),
+            bits.begin() + static_cast<std::ptrdiff_t>(kHeaderFieldBits));
+  std::size_t pos = kHeaderFieldBits;
+  const auto hcs = static_cast<std::uint8_t>(
+      get_bits(bits, pos, static_cast<int>(kHeaderHcsBits)));
   if (crc8_bits(body) != hcs) return std::nullopt;
 
   FrameHeader h;
@@ -63,8 +65,8 @@ std::optional<FrameHeader> decode_header(const Bits& bits) {
 }
 
 std::size_t FrameLayout::retry_symbol() const {
-  // Header is BPSK: one bit per symbol; retry is bit 24 of the header.
-  return preamble_syms + 24;
+  // Header is BPSK: one bit per symbol.
+  return preamble_syms + kHeaderRetryBit;
 }
 
 FrameLayout layout_for(const FrameHeader& h) {

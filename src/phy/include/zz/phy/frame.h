@@ -26,6 +26,14 @@
 namespace zz::phy {
 
 inline constexpr std::size_t kHeaderBits = 48;
+/// Bit index of the retry flag within the 48 header bits (after sender_id
+/// and seq) — the one field that differs between two transmissions of "the
+/// same" packet (§4.2.2).
+inline constexpr std::size_t kHeaderRetryBit = 24;
+/// The HCS covers the first kHeaderFieldBits bits; the last kHeaderHcsBits
+/// carry the CRC-8 itself.
+inline constexpr std::size_t kHeaderHcsBits = 8;
+inline constexpr std::size_t kHeaderFieldBits = kHeaderBits - kHeaderHcsBits;
 
 struct FrameHeader {
   std::uint8_t sender_id = 0;

@@ -21,8 +21,17 @@
 
 namespace zz::testbed {
 
-/// The compared receiver designs of §5.1(e).
-enum class ReceiverKind { Current80211, ZigZag, CollisionFreeScheduler };
+/// The compared receiver designs: the three of §5.1(e) plus the
+/// "Collision Helps" algebraic message-passing receiver (arXiv:1001.1948,
+/// zz/zigzag/algebraic_mp.h), which joint-decodes the same LoggedJoint
+/// collision logs by peeling/eliminating chunk equations instead of the
+/// full ZigZag §4.2.4 tracking loop.
+enum class ReceiverKind {
+  Current80211,
+  ZigZag,
+  CollisionFreeScheduler,
+  AlgebraicMP,
+};
 
 struct ExperimentConfig {
   ExperimentConfig() { timing.cw_max = 127; }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "zz/common/rng.h"
+#include "zz/mac/slotted.h"
 #include "zz/testbed/experiment.h"
 #include "zz/zigzag/decoder.h"
 
@@ -40,7 +41,16 @@ struct SenderSpec {
 };
 
 /// How the AP collects decodable equations.
-enum class CollectMode { Live, LoggedJoint };
+///  * Live (§5.2): saturated senders contend under emulated carrier sense;
+///    every reception is decoded online.
+///  * LoggedJoint (§5.7): rounds of lockstep retransmissions are logged and
+///    decoded offline in one joint decode.
+///  * SlottedAloha (arXiv:1501.00976): packet-sized slots; backlogged
+///    senders transmit per slot with probability p at slot-aligned starts
+///    (up to a sync error). ZigZag receivers store collided slots and
+///    joint-decode them once a matching retransmission slot arrives;
+///    Current80211 is plain slotted ALOHA (collisions lost unless capture).
+enum class CollectMode { Live, LoggedJoint, SlottedAloha };
 
 /// Decoder tuning for n-way (3+) joint decodes: best-first chunk
 /// scheduling plus a second refinement pass. Measurably fewer decode
@@ -67,6 +77,8 @@ struct Scenario {
   std::size_t backoff_stage = 0;
   /// LoggedJoint decode options (ZigZag receiver kind only).
   zigzag::DecodeOptions joint_decode = nway_decode_options();
+  /// SlottedAloha: per-slot transmission probability and slot sync error.
+  mac::SlottedTiming slotted{};
   ExperimentConfig cfg{};
 };
 
@@ -87,12 +99,16 @@ struct ScenarioStats {
   double fairness_index() const;
 };
 
-/// Run one scenario. Throws std::invalid_argument on an empty sender list
-/// (and, for LoggedJoint, fewer than two senders).
+/// Run one scenario. Throws std::invalid_argument on an empty sender list,
+/// on LoggedJoint with fewer than two senders, on AlgebraicMP outside
+/// LoggedJoint (it is an offline joint decoder), and on
+/// CollisionFreeScheduler under SlottedAloha (a TDMA schedule has no
+/// slotted contention to resolve).
 ScenarioStats run_scenario(Rng& rng, const Scenario& scenario);
 
 /// Convenience topology: n identical hidden senders at one SNR — the
-/// Fig 5-9 shape for any n.
+/// Fig 5-9 shape for any n. AlgebraicMP scenarios always collect
+/// LoggedJoint; SlottedAloha is chosen by setting `mode` afterwards.
 Scenario hidden_n_scenario(std::size_t n, double snr_db, ReceiverKind kind,
                            const ExperimentConfig& cfg = {});
 

@@ -9,6 +9,7 @@
 
 #include "zz/common/thread_pool.h"
 #include "zz/testbed/experiment.h"
+#include "zz/testbed/scenario.h"
 
 namespace zz::testbed {
 
@@ -21,6 +22,11 @@ struct NSenderSweepConfig {
   double snr_db = 12.0;
   std::uint64_t seed = 90;
   ReceiverKind receiver = ReceiverKind::ZigZag;
+  /// Collection methodology. LoggedJoint (the Fig 5-9 shape) for every n —
+  /// including n = 2 — keeps the fair share at 1/n by construction;
+  /// SlottedAloha runs the same senders through packet-sized slots
+  /// (bench/baseline_comparison's slotted-ALOHA-ZigZag head).
+  CollectMode mode = CollectMode::LoggedJoint;
   /// Standard 802.11 CWmax (Appendix A), not ExperimentConfig's tightened
   /// 127: n-way rounds rely on binary exponential backoff spreading the
   /// later retransmissions, else n ≥ 5 packets pack into so few slots

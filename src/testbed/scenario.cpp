@@ -9,6 +9,7 @@
 #include "zz/emu/collision.h"
 #include "zz/phy/receiver.h"
 #include "zz/phy/transmitter.h"
+#include "zz/zigzag/algebraic_mp.h"
 #include "zz/zigzag/receiver.h"
 #include "zz/zigzag/scheduler.h"
 
@@ -390,8 +391,9 @@ ScenarioStats run_logged_joint(Rng& rng, const Scenario& sc) {
       continue;
     }
 
-    // ZigZag joint decode over the logged collisions, with
+    // ZigZag / algebraic-MP joint decode over the logged collisions, with
     // scheduler-driven equation selection (§4.5).
+    const bool mp = sc.receiver == ReceiverKind::AlgebraicMP;
     const std::size_t pkt_syms = phy::layout_for(frames[0].header).total_syms;
     const auto make_pattern = [&] {
       zigzag::Pattern pat;
@@ -410,8 +412,11 @@ ScenarioStats run_logged_joint(Rng& rng, const Scenario& sc) {
     std::size_t extra = 0;
     // Assertion 4.5.1 pre-check: an equation set that cannot possibly
     // resolve (a packet pair stuck at one relative offset) is topped up
-    // with another retransmission before any decode is attempted.
-    while (extra < sc.max_extra_equations &&
+    // with another retransmission before any decode is attempted. The
+    // algebraic receiver skips it — a same-offset pair is exactly what its
+    // 2x2 elimination solves, so the equations are not zigzag-infeasible
+    // for it.
+    while (!mp && extra < sc.max_extra_equations &&
            !zigzag::pairwise_condition_holds(make_pattern())) {
       log_collision();
       ++extra;
@@ -444,8 +449,15 @@ ScenarioStats run_logged_joint(Rng& rng, const Scenario& sc) {
       ordered.reserve(inputs.size());
       for (const std::size_t c : order) ordered.push_back(std::move(inputs[c]));
 
-      const zigzag::ZigZagDecoder dec(sc.joint_decode);
-      const auto res = dec.decode({ordered.data(), ordered.size()}, profiles, n);
+      zigzag::DecodeResult res;
+      if (mp) {
+        const zigzag::AlgebraicMpDecoder dec;
+        res = dec.decode({ordered.data(), ordered.size()}, profiles, n,
+                         pkt_syms);
+      } else {
+        const zigzag::ZigZagDecoder dec(sc.joint_decode);
+        res = dec.decode({ordered.data(), ordered.size()}, profiles, n);
+      }
       for (std::size_t i = 0; i < n; ++i)
         ok[i] = res.packets[i].header_ok &&
                 delivered_ok(frames[i], res.packets[i].header,
@@ -482,6 +494,146 @@ ScenarioStats run_logged_joint(Rng& rng, const Scenario& sc) {
   return stats;
 }
 
+// ----------------------------------------------------------- SlottedAloha
+
+// Slotted-ALOHA MAC (arXiv:1501.00976): packet-sized slots, per-slot
+// transmission probability, slot-aligned starts up to a sync error. With
+// ReceiverKind::ZigZag, the AP's live receiver stores collided slots and
+// joint-decodes them once a matching retransmission slot arrives
+// (§4.2.2 matching across slots) — the "enhanced" variant. Current80211 is
+// plain slotted ALOHA: only singleton slots (or capture) deliver.
+ScenarioStats run_slotted(Rng& rng, const Scenario& sc) {
+  const std::size_t n = sc.senders.size();
+  const ExperimentConfig& cfg = sc.cfg;
+  const mac::SlottedTiming& slotted = sc.slotted;
+
+  std::vector<Sender> senders;
+  senders.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    senders.push_back(
+        make_sender(rng, static_cast<std::uint8_t>(i + 1), sc.senders[i], cfg));
+
+  ScenarioStats stats;
+  stats.flows.resize(n);
+  stats.concurrent_throughput.assign(n, 0.0);
+  std::size_t total_offered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    stats.flows[i].offered = senders[i].remaining;
+    total_offered += senders[i].remaining;
+  }
+
+  const phy::StandardReceiver std_rx;
+  // The zigzag AP (with its cross-slot pending store) only exists for the
+  // ZigZag kind; plain slotted ALOHA decodes through std_rx alone.
+  std::optional<zigzag::ZigZagReceiver> zz_rx;
+  if (sc.receiver == ReceiverKind::ZigZag) {
+    zigzag::ReceiverOptions zz_opt;
+    zz_opt.max_pending = std::max<std::size_t>(4, n + 1);
+    zz_opt.max_joint_receptions = std::max<std::size_t>(3, n);
+    if (n > 2) zz_opt.decode.chunk_order = zigzag::ChunkOrder::BestFirst;
+    zz_rx.emplace(zz_opt);
+    std::vector<phy::SenderProfile> ps;
+    for (const auto& s : senders) ps.push_back(s.profile);
+    zz_rx->add_clients(ps);
+  }
+
+  std::vector<std::size_t> conc_delivered(n, 0);
+  // Slots are cheap (idle ones carry no PHY work); the cap only guards
+  // against a pathological tx_prob starving the backlog forever.
+  const std::size_t max_slots = 400 * total_offered + 400;
+
+  while (stats.airtime_rounds < max_slots) {
+    const auto act = active_indices(senders);
+    if (act.empty()) break;
+    const bool contended = act.size() >= 2;
+    ++stats.airtime_rounds;
+    if (contended) ++stats.concurrent_rounds;
+
+    // Per-slot transmission draws, sender-index order (deterministic).
+    std::vector<std::size_t> txs;
+    for (const std::size_t i : act)
+      if (slotted.draw_transmit(rng, act.size())) txs.push_back(i);
+    if (txs.empty()) continue;  // idle slot
+
+    for (const std::size_t i : txs)
+      if (!senders[i].inflight) {
+        senders[i].inflight = senders[i].next_frame(rng, cfg);
+        ++senders[i].seq;
+      }
+
+    // Which senders' packets came out of this slot (transmitters, plus any
+    // sender whose earlier collided slot a joint decode just resolved).
+    std::vector<bool> got(n, false);
+    const auto match_delivery = [&](const phy::FrameHeader& h,
+                                    const Bits& air_bits) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (senders[i].inflight &&
+            delivered_ok(*senders[i].inflight, h, air_bits, cfg.ber_threshold))
+          got[i] = true;
+    };
+
+    if (txs.size() == 1) {
+      Sender& s = senders[txs[0]];
+      const phy::TxFrame frame = phy::with_retry(*s.inflight, s.retries > 0);
+      const auto ch = chan::retransmission_channel(rng, s.base_channel, 0.0);
+      const CVec wave = chan::clean_reception(rng, frame.symbols, ch);
+      if (sc.receiver == ReceiverKind::ZigZag) {
+        for (const auto& d : zz_rx->receive(wave))
+          match_delivery(d.header, d.air_bits);
+      } else {
+        const auto d = std_rx.decode(wave, &s.profile);
+        if (d.header_ok) match_delivery(d.header, d.air_bits);
+      }
+    } else {
+      // Collision slot: all transmissions start at the slot boundary plus
+      // their sync error.
+      emu::CollisionBuilder builder;
+      builder.lead(64);
+      for (const std::size_t i : txs) {
+        Sender& s = senders[i];
+        builder.add(phy::with_retry(*s.inflight, s.retries > 0),
+                    chan::retransmission_channel(rng, s.base_channel, 0.0),
+                    slotted.draw_sync_offset(rng));
+      }
+      const emu::Reception rec = builder.build(rng);
+      if (sc.receiver == ReceiverKind::ZigZag) {
+        for (const auto& d : zz_rx->receive(rec.samples))
+          match_delivery(d.header, d.air_bits);
+      } else {
+        // Plain slotted ALOHA decodes the strongest packet if capture
+        // permits; otherwise the slot is lost.
+        const auto d = std_rx.decode(rec.samples, &senders[txs[0]].profile);
+        if (d.header_ok) match_delivery(d.header, d.air_bits);
+      }
+    }
+
+    // ACK the delivered senders (transmitters or not); transmitters that
+    // failed retry until the limit drops their packet.
+    for (std::size_t i = 0; i < n; ++i) {
+      Sender& s = senders[i];
+      if (got[i] && s.inflight) {
+        ++s.delivered;
+        if (contended) ++conc_delivered[i];
+        --s.remaining;
+        s.retries = 0;
+        s.inflight.reset();
+      }
+    }
+    for (const std::size_t i : txs) {
+      Sender& s = senders[i];
+      if (!s.inflight) continue;  // delivered above
+      if (++s.retries > slotted.retry_limit) {
+        --s.remaining;  // dropped
+        s.retries = 0;
+        s.inflight.reset();
+      }
+    }
+  }
+
+  finish_stats(stats, senders, conc_delivered);
+  return stats;
+}
+
 }  // namespace
 
 zigzag::DecodeOptions nway_decode_options() {
@@ -513,8 +665,21 @@ ScenarioStats run_scenario(Rng& rng, const Scenario& scenario) {
   if (scenario.mode == CollectMode::LoggedJoint && scenario.senders.size() < 2)
     throw std::invalid_argument(
         "run_scenario: LoggedJoint needs at least two senders");
-  return scenario.mode == CollectMode::Live ? run_live(rng, scenario)
-                                            : run_logged_joint(rng, scenario);
+  if (scenario.receiver == ReceiverKind::AlgebraicMP &&
+      scenario.mode != CollectMode::LoggedJoint)
+    throw std::invalid_argument(
+        "run_scenario: AlgebraicMP is an offline joint decoder and needs "
+        "LoggedJoint collection");
+  if (scenario.mode == CollectMode::SlottedAloha &&
+      scenario.receiver == ReceiverKind::CollisionFreeScheduler)
+    throw std::invalid_argument(
+        "run_scenario: CollisionFreeScheduler has no slotted contention");
+  switch (scenario.mode) {
+    case CollectMode::Live: return run_live(rng, scenario);
+    case CollectMode::SlottedAloha: return run_slotted(rng, scenario);
+    case CollectMode::LoggedJoint: break;
+  }
+  return run_logged_joint(rng, scenario);
 }
 
 Scenario hidden_n_scenario(std::size_t n, double snr_db, ReceiverKind kind,
@@ -522,7 +687,9 @@ Scenario hidden_n_scenario(std::size_t n, double snr_db, ReceiverKind kind,
   Scenario sc;
   sc.senders.assign(n, SenderSpec{snr_db, 0});
   sc.receiver = kind;
-  sc.mode = n >= 3 ? CollectMode::LoggedJoint : CollectMode::Live;
+  sc.mode = (n >= 3 || kind == ReceiverKind::AlgebraicMP)
+                ? CollectMode::LoggedJoint
+                : CollectMode::Live;
   sc.p_sense = 0.0;
   sc.backoff_stage = 2;  // saturated steady state (see Scenario)
   sc.cfg = cfg;

@@ -22,9 +22,9 @@ NSenderSweepResult run_n_sender_sweep(const NSenderSweepConfig& cfg,
     ecfg.payload_bytes = cfg.payload_bytes;
     ecfg.timing.cw_max = cfg.cw_max;
     Scenario sc = hidden_n_scenario(n, cfg.snr_db, cfg.receiver, ecfg);
-    // One collection methodology for every n — including n = 2 — so the
-    // fair share is 1/n by construction (n equations per round).
-    sc.mode = CollectMode::LoggedJoint;
+    // One collection methodology for every n — including n = 2 (see the
+    // NSenderSweepConfig::mode doc).
+    sc.mode = cfg.mode;
     outcomes[t] = run_scenario(rng, sc);
   });
 

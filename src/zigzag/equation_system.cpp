@@ -1,0 +1,234 @@
+#include "zz/zigzag/equation_system.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace zz::zigzag {
+namespace {
+
+void validate(const Pattern& pattern, const char* who) {
+  for (const auto& coll : pattern.collisions)
+    for (const auto& pl : coll)
+      if (pl.packet >= pattern.lengths.size())
+        throw std::invalid_argument(std::string(who) +
+                                    ": placement out of range");
+}
+
+// Is symbol k of placement `self` in `coll` free of unknown symbols of every
+// other packet within ±guard? (Same rule as the greedy scheduler's
+// symbol_clean — peeling and greedy chunk decoding share the geometry.)
+bool peelable(const Pattern& pattern,
+              const std::vector<std::vector<std::uint8_t>>& known,
+              const std::vector<Pattern::Placement>& coll, std::size_t self,
+              std::size_t k, std::ptrdiff_t guard) {
+  const auto& pl = coll[self];
+  const std::ptrdiff_t pos = pl.offset + static_cast<std::ptrdiff_t>(k);
+  for (std::size_t oi = 0; oi < coll.size(); ++oi) {
+    if (oi == self) continue;
+    const auto& other = coll[oi];
+    const auto olen = static_cast<std::ptrdiff_t>(pattern.lengths[other.packet]);
+    const std::ptrdiff_t jlo =
+        std::max<std::ptrdiff_t>(0, pos - guard - other.offset);
+    const std::ptrdiff_t jhi =
+        std::min<std::ptrdiff_t>(olen - 1, pos + guard - other.offset);
+    for (std::ptrdiff_t j = jlo; j <= jhi; ++j)
+      if (!known[other.packet][static_cast<std::size_t>(j)]) return false;
+  }
+  return true;
+}
+
+// Symbols of packets other than {a, b} unknown within ±guard of collision
+// time `pos` would corrupt a 2x2 elimination — the eliminated system must
+// contain exactly the pair.
+bool pair_region_clean(const Pattern& pattern,
+                       const std::vector<std::vector<std::uint8_t>>& known,
+                       const std::vector<Pattern::Placement>& coll,
+                       std::size_t a, std::size_t b, std::ptrdiff_t pos,
+                       std::ptrdiff_t guard) {
+  for (const auto& other : coll) {
+    if (other.packet == a || other.packet == b) continue;
+    const auto olen = static_cast<std::ptrdiff_t>(pattern.lengths[other.packet]);
+    const std::ptrdiff_t jlo =
+        std::max<std::ptrdiff_t>(0, pos - guard - other.offset);
+    const std::ptrdiff_t jhi =
+        std::min<std::ptrdiff_t>(olen - 1, pos + guard - other.offset);
+    for (std::ptrdiff_t j = jlo; j <= jhi; ++j)
+      if (!known[other.packet][static_cast<std::size_t>(j)]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ChunkEquation> chunk_equations(const Pattern& pattern) {
+  validate(pattern, "chunk_equations");
+  std::vector<ChunkEquation> eqs;
+  for (std::size_t c = 0; c < pattern.collisions.size(); ++c) {
+    const auto& coll = pattern.collisions[c];
+    // Segment boundaries: every packet start and end.
+    std::vector<std::ptrdiff_t> cuts;
+    for (const auto& pl : coll) {
+      cuts.push_back(pl.offset);
+      cuts.push_back(pl.offset +
+                     static_cast<std::ptrdiff_t>(pattern.lengths[pl.packet]));
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+      ChunkEquation eq;
+      eq.collision = c;
+      eq.t0 = cuts[s];
+      eq.t1 = cuts[s + 1];
+      for (const auto& pl : coll) {
+        const auto len = static_cast<std::ptrdiff_t>(pattern.lengths[pl.packet]);
+        const std::ptrdiff_t k0 = eq.t0 - pl.offset;
+        const std::ptrdiff_t k1 = eq.t1 - pl.offset;
+        if (k1 <= 0 || k0 >= len) continue;
+        eq.terms.push_back({pl.packet, static_cast<std::size_t>(k0),
+                            static_cast<std::size_t>(k1)});
+      }
+      if (!eq.terms.empty()) eqs.push_back(std::move(eq));
+    }
+  }
+  return eqs;
+}
+
+MpPlan message_passing_plan(const Pattern& pattern, std::size_t guard) {
+  validate(pattern, "message_passing_plan");
+
+  const std::size_t npk = pattern.lengths.size();
+  std::vector<std::vector<std::uint8_t>> known(npk);
+  for (std::size_t p = 0; p < npk; ++p) known[p].assign(pattern.lengths[p], 0);
+
+  MpPlan plan;
+  const auto g = static_cast<std::ptrdiff_t>(guard);
+  const auto order = order_equations(pattern);
+
+  // One peel sweep over the equations, best-conditioned-first. Returns
+  // whether any chunk was solved.
+  const auto peel_sweep = [&] {
+    bool progress = false;
+    for (const std::size_t c : order) {
+      const auto& coll = pattern.collisions[c];
+      for (std::size_t self = 0; self < coll.size(); ++self) {
+        const auto& pl = coll[self];
+        const std::size_t len = pattern.lengths[pl.packet];
+        std::size_t k = 0;
+        while (k < len) {
+          if (known[pl.packet][k] ||
+              !peelable(pattern, known, coll, self, k, g)) {
+            ++k;
+            continue;
+          }
+          std::size_t k1 = k;
+          while (k1 < len && !known[pl.packet][k1] &&
+                 peelable(pattern, known, coll, self, k1, g))
+            ++k1;
+          for (std::size_t j = k; j < k1; ++j) known[pl.packet][j] = 1;
+          plan.steps.push_back({MpStep::Kind::Peel, c, 0, pl.packet, 0, k, k1});
+          ++plan.peels;
+          progress = true;
+          k = k1;
+        }
+      }
+    }
+    return progress;
+  };
+
+  // One elimination: the first (in conditioning order) pair of collisions
+  // whose unknown support over some region is the same packet pair at the
+  // same relative offset. Solves the lower-numbered packet of the pair;
+  // the other becomes peelable once the solved chunk is substituted.
+  const auto eliminate_once = [&] {
+    for (std::size_t ci = 0; ci < order.size(); ++ci) {
+      const std::size_t c1 = order[ci];
+      for (std::size_t cj = ci + 1; cj < order.size(); ++cj) {
+        const std::size_t c2 = order[cj];
+        for (const auto& pa : pattern.collisions[c1]) {
+          for (const auto& pb : pattern.collisions[c1]) {
+            if (pb.packet <= pa.packet) continue;
+            // Both packets in c2 at the same relative offset?
+            const Pattern::Placement* qa = nullptr;
+            const Pattern::Placement* qb = nullptr;
+            for (const auto& pl : pattern.collisions[c2]) {
+              if (pl.packet == pa.packet) qa = &pl;
+              if (pl.packet == pb.packet) qb = &pl;
+            }
+            if (!qa || !qb) continue;
+            if (pa.offset - pb.offset != qa->offset - qb->offset) continue;
+
+            // The elimination's matched sampling cancels the WHOLE of
+            // pb.packet's waveform (not individual symbols), so any unknown
+            // symbol of pa.packet qualifies as long as no third packet's
+            // unknown symbols interfere in either collision — pb's guard
+            // tails cancel along with the rest of it. (Outside pb's span
+            // the 2x2 solve degenerates gracefully: the pb unknown is just
+            // zero there.)
+            const auto la = static_cast<std::ptrdiff_t>(
+                pattern.lengths[pa.packet]);
+            const std::ptrdiff_t o0 = 0;
+            const std::ptrdiff_t o1 = la;
+
+            std::ptrdiff_t k = o0;
+            while (k < o1) {
+              const auto ku = static_cast<std::size_t>(k);
+              const bool usable =
+                  !known[pa.packet][ku] &&
+                  pair_region_clean(pattern, known, pattern.collisions[c1],
+                                    pa.packet, pb.packet, pa.offset + k, g) &&
+                  pair_region_clean(pattern, known, pattern.collisions[c2],
+                                    pa.packet, pb.packet, qa->offset + k, g);
+              if (!usable) {
+                ++k;
+                continue;
+              }
+              std::ptrdiff_t k1 = k;
+              while (k1 < o1) {
+                const auto k1u = static_cast<std::size_t>(k1);
+                if (known[pa.packet][k1u] ||
+                    !pair_region_clean(pattern, known,
+                                       pattern.collisions[c1], pa.packet,
+                                       pb.packet, pa.offset + k1, g) ||
+                    !pair_region_clean(pattern, known,
+                                       pattern.collisions[c2], pa.packet,
+                                       pb.packet, qa->offset + k1, g))
+                  break;
+                ++k1;
+              }
+              for (std::ptrdiff_t j = k; j < k1; ++j)
+                known[pa.packet][static_cast<std::size_t>(j)] = 1;
+              plan.steps.push_back({MpStep::Kind::Eliminate, c1, c2,
+                                    pa.packet, pb.packet,
+                                    static_cast<std::size_t>(k),
+                                    static_cast<std::size_t>(k1)});
+              ++plan.eliminations;
+              return true;
+            }
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  for (;;) {
+    ++plan.rounds;
+    if (peel_sweep()) continue;
+    if (eliminate_once()) continue;
+    break;
+  }
+
+  plan.complete = true;
+  for (std::size_t p = 0; p < npk; ++p) {
+    const bool all = std::all_of(known[p].begin(), known[p].end(),
+                                 [](std::uint8_t v) { return v != 0; });
+    if (!all) {
+      plan.complete = false;
+      plan.unresolved_packets.push_back(p);
+    }
+  }
+  return plan;
+}
+
+}  // namespace zz::zigzag

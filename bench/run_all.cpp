@@ -2,24 +2,28 @@
 // binary and emits a machine-readable BENCH_decoder.json baseline.
 //
 // Usage:
-//   run_all [--all] [--quick | --full] [--check] [--bin-dir <dir>] [--out <file>]
+//   run_all [--quick | --full] [--check] [--bin-dir <dir>] [--out <file>]
 //
-// The default set (table_5_1_micro, fig_5_3_ber, n_sender_sweep,
-// baseline_comparison) is the baseline the ROADMAP's perf/accuracy
-// trajectory tracks; --all additionally runs every other
-// fig_*/table_*/lemma_* bench. Each bench's stdout is captured verbatim
-// into the JSON together with its wall-clock time, so later PRs can diff
-// both the numbers and the cost of producing them.
+// The committed baseline covers EVERY deterministic paper bench: the
+// headline subset the ROADMAP's perf/accuracy trajectory tracks
+// (table_5_1_micro, fig_5_3_ber, n_sender_sweep, baseline_comparison)
+// plus the remaining fig_*/lemma_* benches — all sharded-RNG reproducible,
+// so all drift-gated. Each bench's stdout is captured verbatim into the
+// JSON together with its wall-clock time, so later PRs can diff both the
+// numbers and the cost of producing them. (--all is accepted for backward
+// compatibility; the full set runs by default now.)
 //
 // --check turns the driver into a regression gate: it parses the captured
 // tables and fails the run when the detector accuracy drifts off the
 // Table 5.1(a) operating point, the Fig 5-3 BER curve loses its
 // monotonicity (the high-SNR anomaly this repo once shipped), an n-sender
 // fairness or head-to-head ordering gate breaks (n_sender_sweep,
-// baseline_comparison), or a bench's wall time blows past ~2.5x its
-// recorded cost.
+// baseline_comparison), any deterministic bench's stdout drifts from the
+// committed baseline, or a bench's wall time blows past its recorded
+// budget (~2.5x measured cost).
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -37,23 +41,24 @@ struct BenchRun {
   std::vector<std::string> stdout_lines;
 };
 
-// The committed baseline subset the perf/accuracy trajectory tracks.
-const char* const kBaselineBenches[] = {"table_5_1_micro", "fig_5_3_ber",
-                                        "n_sender_sweep",
-                                        "baseline_comparison"};
+// The committed baseline: the headline perf/accuracy subset first, then
+// the remaining deterministic fig_*/lemma_* benches (folded into the
+// baseline + drift gate once the decode hot path made them cheap enough to
+// run gated in CI). complexity is excluded: it is a Google Benchmark
+// binary with its own JSON emitter.
+const char* const kBaselineBenches[] = {
+    "table_5_1_micro",      "fig_5_3_ber",
+    "n_sender_sweep",       "baseline_comparison",
+    "error_propagation",    "fig_4_2_correlation",
+    "fig_4_7_greedy_failure", "fig_5_2_tracking_isi",
+    "fig_5_4_capture",      "fig_5_5_throughput_cdf",
+    "fig_5_6_loss_cdf",     "fig_5_7_scatter",
+    "fig_5_8_hidden_loss",  "fig_5_9_three_senders",
+    "lemma_4_4_1_ack"};
 
-// Benches whose stdout is fully deterministic (sharded RNG, thread-count
-// independent) and therefore diffed verbatim against the committed
-// baseline under --check --baseline.
-const char* const kDriftGated[] = {"n_sender_sweep", "baseline_comparison"};
-
-// The remaining plain-main benches, run only under --all. complexity is
-// excluded: it is a Google Benchmark binary with its own JSON emitter.
-const char* const kExtraBenches[] = {
-    "error_propagation", "fig_4_2_correlation",  "fig_4_7_greedy_failure",
-    "fig_5_2_tracking_isi", "fig_5_4_capture",   "fig_5_5_throughput_cdf",
-    "fig_5_6_loss_cdf",   "fig_5_7_scatter",     "fig_5_8_hidden_loss",
-    "fig_5_9_three_senders", "lemma_4_4_1_ack"};
+// Every bench's stdout is fully deterministic (sharded RNG, thread-count
+// independent — test-pinned for the sweeps), so --check --baseline diffs
+// every bench verbatim against the committed baseline.
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -331,14 +336,35 @@ void check_baseline_comparison(const BenchRun& r, bool quick) {
 }
 
 // Wall-time guard: ~2.5x the recorded cost of each bench at the given
-// scale; a regression to the old O(N·M) correlation path trips this.
-// --full runs 4x the samples (bench_util run_scale), so its budgets scale.
+// scale; a regression to the old O(N·M) correlation path or per-symbol
+// interpolation route trips this. Budgets were tightened to the batched
+// decode-engine numbers (PR 5); tiny benches get a 2 s floor so machine
+// noise cannot flake them. --full runs 4x the samples (bench_util
+// run_scale), so its budgets scale.
 void check_wall_time(const BenchRun& r, bool quick, bool full) {
   double budget_ms = 0.0;
-  if (r.name == "table_5_1_micro") budget_ms = quick ? 10000.0 : 20000.0;
-  if (r.name == "fig_5_3_ber") budget_ms = quick ? 6000.0 : 10000.0;
-  if (r.name == "n_sender_sweep") budget_ms = quick ? 5000.0 : 30000.0;
-  if (r.name == "baseline_comparison") budget_ms = quick ? 10000.0 : 40000.0;
+  // Headline subset (measured single-core: 5.9 s / 2.2 s / 8.8 s / 9.0 s).
+  if (r.name == "table_5_1_micro") budget_ms = quick ? 8000.0 : 15000.0;
+  if (r.name == "fig_5_3_ber") budget_ms = quick ? 4000.0 : 6000.0;
+  if (r.name == "n_sender_sweep") budget_ms = quick ? 5000.0 : 22000.0;
+  if (r.name == "baseline_comparison") budget_ms = quick ? 10000.0 : 25000.0;
+  if (budget_ms == 0.0) {
+    // Folded fig_*/lemma_* benches (measured 0.01-9.1 s single-core).
+    // Quick runs quarter the samples, so their budgets scale to 0.4x with
+    // the same 2 s machine-noise floor.
+    if (r.name == "fig_4_7_greedy_failure") budget_ms = 25000.0;
+    if (r.name == "fig_5_4_capture") budget_ms = 20000.0;
+    if (r.name == "fig_5_8_hidden_loss") budget_ms = 20000.0;
+    if (r.name == "fig_5_5_throughput_cdf") budget_ms = 5000.0;
+    if (r.name == "fig_5_6_loss_cdf") budget_ms = 4000.0;
+    if (r.name == "fig_5_7_scatter") budget_ms = 6000.0;
+    if (r.name == "fig_5_9_three_senders") budget_ms = 7000.0;
+    if (r.name == "error_propagation" || r.name == "fig_4_2_correlation" ||
+        r.name == "fig_5_2_tracking_isi" || r.name == "lemma_4_4_1_ack")
+      budget_ms = 2000.0;
+    if (quick && budget_ms > 0.0)
+      budget_ms = std::max(2000.0, 0.4 * budget_ms);
+  }
   if (full) budget_ms *= 4.0;
   if (budget_ms > 0.0)
     check(r.wall_ms <= budget_ms,
@@ -461,9 +487,7 @@ void run_checks(const std::vector<BenchRun>& runs, const std::string& scale,
     if (r.name == "n_sender_sweep") check_n_sender_sweep(r, quick);
     if (r.name == "baseline_comparison") check_baseline_comparison(r, quick);
     check_wall_time(r, quick, full);
-    if (have_base)
-      for (const char* const name : kDriftGated)
-        if (r.name == name) check_drift(r, base);
+    if (have_base) check_drift(r, base);
   }
   if (check_failures == 0)
     std::printf("run_all --check: all gates green\n");
@@ -509,12 +533,11 @@ int main(int argc, char** argv) {
   if (scale == "quick") setenv("ZZ_QUICK", "1", 1);
   if (scale == "full") setenv("ZZ_FULL", "1", 1);
 
+  // The full deterministic set runs (and is baselined) by default; --all
+  // is retained as a no-op for compatibility with older invocations.
+  (void)all;
   std::vector<std::string> names(std::begin(kBaselineBenches),
                                  std::end(kBaselineBenches));
-  if (all) {
-    names.insert(names.end(), std::begin(kExtraBenches),
-                 std::end(kExtraBenches));
-  }
 
   std::vector<BenchRun> runs;
   int failures = 0;

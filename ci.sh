@@ -18,12 +18,13 @@ cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 # --- Bench gates, at the committed baseline's (default) scale: the driver
-# parses its own output and fails on detector-accuracy drift, Fig 5-3 BER
-# non-monotonicity, an n_sender_sweep fair-share ratio below 0.9 of 1/n, a
-# >2.5x wall-time blowup of a headline bench — and, for the deterministic
-# n_sender_sweep, on ANY stdout drift from bench/baselines (the sweep is
-# sharded-RNG reproducible, so a changed digit means changed behavior;
-# regenerate the baseline deliberately when that is intended). ---
+# runs EVERY deterministic paper bench (headline subset + the folded
+# fig_*/lemma_* sweeps), parses its own output and fails on
+# detector-accuracy drift, Fig 5-3 BER non-monotonicity, an n_sender_sweep
+# fair-share ratio below 0.9 of 1/n, a per-bench wall-time budget blowout —
+# and on ANY stdout drift from bench/baselines (every bench is sharded-RNG
+# reproducible, so a changed digit means changed behavior; regenerate the
+# baseline deliberately when that is intended). ---
 ./build/bench/run_all --check \
   --baseline bench/baselines/BENCH_decoder.json \
   --out build/BENCH_decoder.json

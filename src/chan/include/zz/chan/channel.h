@@ -87,6 +87,13 @@ void add_signal_derivative(CVec& buf, std::ptrdiff_t offset,
                            const CVec& symbols, const ChannelParams& p,
                            std::size_t interp_half_width = 8);
 
+/// Test hook: cap the render's symbol-group width (4 = CPU-dispatched AVX2
+/// quads where available, 2 = SSE2 pairs, 1 = scalar tap loop; 0 restores
+/// CPU dispatch). All widths are bit-identical by contract — the drift
+/// gates run on whatever the CI machine dispatches, so tests pin the
+/// narrower paths against the widest one through this knob.
+void set_render_group_width_for_test(int width);
+
 /// Convenience: render a whole clean reception (signal + AWGN of unit power
 /// scaled by `noise_power`), with `lead` noise-only samples before the
 /// packet and `tail` after.

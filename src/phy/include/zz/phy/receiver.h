@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "zz/phy/modulation.h"
 #include "zz/phy/tracker.h"
 #include "zz/phy/transmitter.h"
+#include "zz/signal/correlate.h"
 #include "zz/signal/fir.h"
 
 namespace zz::phy {
@@ -111,6 +113,13 @@ class StandardReceiver {
 
  private:
   ReceiverConfig cfg_;
+  /// Full-buffer preamble scan engine, built lazily and reused across
+  /// decode() calls (the stream transforms are re-prepared per buffer; the
+  /// object, its block buffers and the output vector persist). Makes
+  /// decode() non-reentrant on a shared instance — give each thread its
+  /// own StandardReceiver, the same contract as SlidingCorrelator itself.
+  mutable std::unique_ptr<sig::SlidingCorrelator> scan_;
+  mutable CVec scan_corr_;
 };
 
 }  // namespace zz::phy

@@ -28,6 +28,12 @@ struct LinkEstimate {
   chan::ChannelParams params;  ///< ĥ, δf̂, μ̂, drift̂, ISI-tap estimate
   sig::Fir equalizer;          ///< LS inverse of params.isi
   double noise_var = 1.0;      ///< complex noise variance at the slicer input
+  /// True once noise_var holds a slicer measurement. Before the first chunk
+  /// decode, noise_var carries a prior of a different scale (the buffer
+  /// noise floor, or the 1.0 default); the decoder's EWMA must seed from
+  /// its first measurement instead of blending into that prior, which
+  /// biased early chunks' noise ranking (and MRC/best-link selection) low.
+  bool noise_seeded = false;
 };
 
 /// Loop gains of the decision-directed trackers. Defaults are stable from
@@ -52,7 +58,11 @@ struct SymbolSpec {
 /// buffer, mutating the caller's LinkEstimate as it tracks.
 class ChunkDecoder {
  public:
-  ChunkDecoder(TrackingGains gains = {}, std::size_t interp_half_width = 8);
+  /// `block_interp` selects the batched per-tracking-block symbol fetch
+  /// (SincInterpolator::at_batch). The per-symbol route is kept as the
+  /// golden reference; the two produce bit-identical decodes.
+  ChunkDecoder(TrackingGains gains = {}, std::size_t interp_half_width = 8,
+               bool block_interp = true);
 
   struct Result {
     CVec soft;     ///< equalized complex symbol estimates (one per symbol)
@@ -71,13 +81,22 @@ class ChunkDecoder {
   const TrackingGains& gains() const { return gains_; }
   std::size_t interp_half_width() const { return hw_; }
 
+  bool block_interp() const { return block_interp_; }
+
  private:
   /// Interpolated, de-rotated, gain-normalized sample for symbol index k.
   cplx raw_symbol(const CVec& buf, std::ptrdiff_t origin, double k,
                   const LinkEstimate& est) const;
 
+  /// Raw symbols for the whole index range [m0, m1) into `z` — one block
+  /// interpolation pass instead of a raw_symbol call per symbol (or the
+  /// per-symbol reference route when block_interp is off).
+  void raw_block(const CVec& buf, std::ptrdiff_t origin, std::ptrdiff_t m0,
+                 std::ptrdiff_t m1, const LinkEstimate& est, CVec& z) const;
+
   TrackingGains gains_;
   std::size_t hw_;
+  bool block_interp_;
   sig::SincInterpolator interp_;
 };
 

@@ -95,8 +95,21 @@ double StandardReceiver::detection_threshold(double snr_linear,
 PacketDecode StandardReceiver::decode(const CVec& rx,
                                       const SenderProfile* profile) const {
   const double coarse = profile ? profile->freq_offset : 0.0;
-  const CVec corr =
-      sig::sliding_correlation(preamble_waveform(cfg_.preamble_len), rx, coarse);
+  // Full-buffer preamble scan through the persistent SlidingCorrelator
+  // engine (same routing as sig::sliding_correlation, so the numbers are
+  // unchanged — short buffers keep the naive loop, long ones reuse this
+  // receiver's prepared engine instead of building one per call).
+  const CVec& ref = preamble_waveform(cfg_.preamble_len);
+  if (rx.size() < ref.size() || ref.empty()) return {};
+  const std::size_t positions = rx.size() - ref.size() + 1;
+  if (positions < sig::kSlidingNaiveCutoff) {
+    scan_corr_ = sig::sliding_correlation_naive(ref, rx, coarse);
+  } else {
+    if (!scan_) scan_ = std::make_unique<sig::SlidingCorrelator>(ref);
+    scan_->prepare(rx);
+    scan_->correlate(coarse, scan_corr_);
+  }
+  const CVec& corr = scan_corr_;
   if (corr.empty()) return {};
 
   std::size_t peak = 0;

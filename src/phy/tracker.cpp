@@ -8,8 +8,12 @@
 
 namespace zz::phy {
 
-ChunkDecoder::ChunkDecoder(TrackingGains gains, std::size_t interp_half_width)
-    : gains_(gains), hw_(interp_half_width), interp_(interp_half_width) {}
+ChunkDecoder::ChunkDecoder(TrackingGains gains, std::size_t interp_half_width,
+                           bool block_interp)
+    : gains_(gains),
+      hw_(interp_half_width),
+      block_interp_(block_interp),
+      interp_(interp_half_width) {}
 
 cplx ChunkDecoder::raw_symbol(const CVec& buf, std::ptrdiff_t origin, double k,
                               const LinkEstimate& est) const {
@@ -23,6 +27,40 @@ cplx ChunkDecoder::raw_symbol(const CVec& buf, std::ptrdiff_t origin, double k,
   const cplx h = p.h;
   const double hn = std::norm(h);
   return hn > 1e-18 ? derot * std::conj(h) / hn : derot;
+}
+
+void ChunkDecoder::raw_block(const CVec& buf, std::ptrdiff_t origin,
+                             std::ptrdiff_t m0, std::ptrdiff_t m1,
+                             const LinkEstimate& est, CVec& z) const {
+  const auto n = static_cast<std::size_t>(m1 - m0);
+  z.resize(n);
+  if (!block_interp_) {
+    // Per-symbol golden reference route.
+    for (std::ptrdiff_t m = m0; m < m1; ++m)
+      z[static_cast<std::size_t>(m - m0)] =
+          raw_symbol(buf, origin, static_cast<double>(m), est);
+    return;
+  }
+  // Batched route: one block interpolation pass, then the same per-symbol
+  // de-rotation and gain normalization arithmetic as raw_symbol — the two
+  // routes are bit-identical.
+  const auto& p = est.params;
+  thread_local std::vector<double> rel, pos;
+  rel.resize(n);
+  pos.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto k = static_cast<double>(m0 + static_cast<std::ptrdiff_t>(j));
+    rel[j] = chan::kSps * k * (1.0 + p.drift) + p.mu;
+    pos[j] = static_cast<double>(origin) + rel[j];
+  }
+  interp_.at_batch(buf, {pos.data(), n}, z.data());
+  const cplx h = p.h;
+  const double hn = std::norm(h);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double phi = -kTwoPi * p.freq_offset * rel[j];
+    const cplx derot = z[j] * cplx{std::cos(phi), std::sin(phi)};
+    z[j] = hn > 1e-18 ? derot * std::conj(h) / hn : derot;
+  }
 }
 
 ChunkDecoder::Result ChunkDecoder::decode(const CVec& buf,
@@ -41,11 +79,12 @@ ChunkDecoder::Result ChunkDecoder::decode(const CVec& buf,
   out.decided.assign(n, cplx{});
   if (n == 0) return out;
 
-  // Modulators are tiny; cache the ones this chunk needs.
-  const Modulator mods[4] = {Modulator(Modulation::BPSK),
-                             Modulator(Modulation::QPSK),
-                             Modulator(Modulation::QAM16),
-                             Modulator(Modulation::QAM64)};
+  // Modulators are immutable after construction; build the table once per
+  // process instead of once per chunk decode.
+  static const Modulator mods[4] = {Modulator(Modulation::BPSK),
+                                    Modulator(Modulation::QPSK),
+                                    Modulator(Modulation::QAM16),
+                                    Modulator(Modulation::QAM64)};
   auto mod_of = [&](std::size_t i) -> const Modulator& {
     return mods[static_cast<std::size_t>(specs[i].mod)];
   };
@@ -59,6 +98,10 @@ ChunkDecoder::Result ChunkDecoder::decode(const CVec& buf,
   double resid_acc = 0.0;
   std::size_t resid_cnt = 0;
 
+  // Block-decode workspaces, allocated once per decode and reused across
+  // blocks and passes (resize within capacity after the first block).
+  CVec z, zeq, dec;
+
   for (std::size_t bi = 0; bi < nblocks; ++bi) {
     const std::size_t b = backward ? nblocks - 1 - bi : bi;
     const std::size_t bk0 = k0 + b * gains_.block;
@@ -68,18 +111,17 @@ ChunkDecoder::Result ChunkDecoder::decode(const CVec& buf,
     // Two passes: measure errors with the current estimate, correct, and
     // re-slice with the corrected estimate.
     for (int pass = 0; pass < 2; ++pass) {
-      // Raw (pre-equalizer) symbols for the block plus equalizer margin.
+      // Raw (pre-equalizer) symbols for the block plus equalizer margin,
+      // fetched through the block interpolation engine.
       const std::ptrdiff_t m0 = static_cast<std::ptrdiff_t>(bk0) -
                                 static_cast<std::ptrdiff_t>(guard);
       const std::ptrdiff_t m1 =
           static_cast<std::ptrdiff_t>(bk1) + static_cast<std::ptrdiff_t>(guard);
-      CVec z(static_cast<std::size_t>(m1 - m0));
-      for (std::ptrdiff_t m = m0; m < m1; ++m)
-        z[static_cast<std::size_t>(m - m0)] =
-            raw_symbol(buf, origin, static_cast<double>(m), est);
+      raw_block(buf, origin, m0, m1, est, z);
 
       // Equalize and slice the block.
-      CVec zeq(bn), dec(bn);
+      zeq.resize(bn);
+      dec.resize(bn);
       for (std::size_t i = 0; i < bn; ++i) {
         const std::size_t k = bk0 + i;
         const cplx v = est.equalizer.at(
@@ -119,10 +161,23 @@ ChunkDecoder::Result ChunkDecoder::decode(const CVec& buf,
       // pulse s'(t_k) ∝ d[k+1] - d[k-1]; project the residual onto the
       // slope to read -δ.
       double terr_num = 0.0, terr_den = 0.0;
-      for (std::size_t i = 1; i + 1 < bn; ++i) {
-        const cplx slope = 0.5 * (dec[i + 1] - dec[i - 1]);
-        terr_num += std::real(std::conj(slope) * (zeq[i] - dec[i]));
-        terr_den += std::norm(slope);
+      if (bn >= 3) {
+        for (std::size_t i = 1; i + 1 < bn; ++i) {
+          const cplx slope = 0.5 * (dec[i + 1] - dec[i - 1]);
+          terr_num += std::real(std::conj(slope) * (zeq[i] - dec[i]));
+          terr_den += std::norm(slope);
+        }
+      } else if (bn == 2) {
+        // Degenerate short block (a tail chunk): the central-difference
+        // loop above is empty for bn <= 2, which used to freeze μ̂ while
+        // phase/amplitude corrections still applied. Use the one-sided
+        // difference as the slope at both symbols so short chunks track
+        // timing too. (bn == 1 carries no slope information at all; μ̂ is
+        // legitimately left untouched there.)
+        const cplx slope = dec[1] - dec[0];
+        terr_num += std::real(std::conj(slope) * (zeq[0] - dec[0]));
+        terr_num += std::real(std::conj(slope) * (zeq[1] - dec[1]));
+        terr_den += 2.0 * std::norm(slope);
       }
       const double timing_err = terr_den > 1e-9 ? -terr_num / terr_den : 0.0;
 
@@ -162,7 +217,15 @@ ChunkDecoder::Result ChunkDecoder::decode(const CVec& buf,
   }
 
   out.noise_var = resid_cnt ? resid_acc / static_cast<double>(resid_cnt) : 0.0;
-  est.noise_var = 0.9 * est.noise_var + 0.1 * out.noise_var;
+  // Seed the slicer-noise EWMA from the first measurement: the pre-decode
+  // noise_var is a prior of a different scale, and blending the first
+  // measurement into it at 10% weight biased early chunks' noise ranking.
+  if (!est.noise_seeded) {
+    est.noise_var = out.noise_var;
+    est.noise_seeded = true;
+  } else {
+    est.noise_var = 0.9 * est.noise_var + 0.1 * out.noise_var;
+  }
   return out;
 }
 

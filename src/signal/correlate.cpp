@@ -9,9 +9,6 @@
 namespace zz::sig {
 namespace {
 
-// Below this many alignments the FFT set-up cost outweighs the naive loop.
-constexpr std::size_t kNaiveCutoff = 192;
-
 // FFT block size: 4x the reference rounded up to a power of two keeps the
 // valid fraction of each block (N - M + 1)/N around 3/4.
 std::size_t pick_fft_size(std::size_t ref_len) {
@@ -59,7 +56,7 @@ CVec sliding_correlation(const CVec& reference, const CVec& stream,
                          double freq_offset_cps) {
   if (stream.size() < reference.size() || reference.empty()) return {};
   const std::size_t positions = stream.size() - reference.size() + 1;
-  if (positions < kNaiveCutoff)
+  if (positions < kSlidingNaiveCutoff)
     return sliding_correlation_naive(reference, stream, freq_offset_cps);
   SlidingCorrelator corr(reference);
   return corr.correlate(stream, freq_offset_cps);

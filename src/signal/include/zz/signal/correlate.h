@@ -24,6 +24,12 @@
 
 namespace zz::sig {
 
+/// Below this many alignments the FFT set-up cost outweighs the naive loop;
+/// sliding_correlation() routes accordingly, and callers that keep their own
+/// persistent SlidingCorrelator use the same cutoff so either route produces
+/// the same numbers it always did.
+inline constexpr std::size_t kSlidingNaiveCutoff = 192;
+
 /// Γ(Δ) = Σ_k s*[k] · y[k+Δ] for every alignment Δ, optionally after
 /// de-rotating y by a frequency offset hypothesis (the paper's Γ'):
 /// Γ'(Δ) = Σ_k s*[k] · y[k+Δ] · e^{-j2πk·δf·T}.

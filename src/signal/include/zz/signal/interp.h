@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "zz/common/types.h"
 
@@ -22,8 +23,27 @@ class SincInterpolator {
   std::size_t half_width() const { return half_width_; }
 
   /// Value of the band-limited signal underlying `x` at continuous position
-  /// `t` (in samples). Positions outside the stream see implicit zeros.
+  /// `t` (in samples). Positions outside the stream see implicit zeros;
+  /// near the stream edges the truncated kernel window is renormalized by
+  /// its summed weight, so edge samples keep interior gain.
   cplx at(const CVec& x, double t) const;
+
+  /// Block evaluation of a run of positions in one pass: out[j] is the
+  /// value at t[j], bit-identical to calling at(x, t[j]) per position. The
+  /// per-call kernel recurrence setup that at() redoes per sample is
+  /// hoisted across the whole run — this is the decoder's per-tracking-
+  /// block fetch path (ChunkDecoder::raw_block supplies the positions,
+  /// which its legacy per-symbol formula defines).
+  void at_batch(const CVec& x, std::span<const double> t, cplx* out) const;
+
+  /// Convenience block evaluation at uniformly spaced positions
+  /// t_j = t0 + j·dt for j in [0, n) — a symbol-rate run expressed by
+  /// (start, step). Note the decoder itself feeds at_batch with positions
+  /// computed by its historical per-symbol expression, whose rounding
+  /// differs from t0 + j·dt at the ulp level; this wrapper is for callers
+  /// without such a legacy contract.
+  void at_uniform(const CVec& x, double t0, double dt, std::size_t n,
+                  cplx* out) const;
 
   /// Resample the whole stream at positions t_n = n + mu + drift*n, i.e. a
   /// constant fractional offset plus a linear clock drift — the sampling
@@ -31,6 +51,8 @@ class SincInterpolator {
   CVec shift(const CVec& x, double mu, double drift_per_sample = 0.0) const;
 
  private:
+  /// One interpolated value with the recurrence constants precomputed.
+  cplx point(const CVec& x, double t, double cd, double sd) const;
   double kernel(double x) const;  ///< Hann-windowed sinc.
   std::size_t half_width_;
 };

@@ -22,14 +22,17 @@ double SincInterpolator::kernel(double x) const {
   return sinc(x) * w;
 }
 
-cplx SincInterpolator::at(const CVec& x, double t) const {
+cplx SincInterpolator::point(const CVec& x, double t, double cd,
+                             double sd) const {
   const auto n0 = static_cast<std::ptrdiff_t>(std::floor(t));
   const auto hw = static_cast<std::ptrdiff_t>(half_width_);
-  const std::ptrdiff_t lo =
-      std::max<std::ptrdiff_t>(n0 - hw + 1, 0);
-  const std::ptrdiff_t hi =
-      std::min<std::ptrdiff_t>(n0 + hw, static_cast<std::ptrdiff_t>(x.size()) - 1);
+  const std::ptrdiff_t full_lo = n0 - hw + 1;
+  const std::ptrdiff_t full_hi = n0 + hw;
+  const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(full_lo, 0);
+  const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(
+      full_hi, static_cast<std::ptrdiff_t>(x.size()) - 1);
   if (hi < lo) return cplx{0.0, 0.0};
+  const double hwd = static_cast<double>(half_width_);
 
   // Consecutive kernel arguments differ by exactly 1, so the two
   // transcendental factors recur instead of being re-evaluated per tap:
@@ -37,46 +40,119 @@ cplx SincInterpolator::at(const CVec& x, double t) const {
   //   cos(π(x0 - j)/hw)                  (fixed-angle rotor)
   // This is ~2 sin/cos calls per interpolation instead of 2 per tap, and
   // matches the direct evaluation to ~1e-15.
-  const double x0 = t - static_cast<double>(lo);  // largest argument, > 0
-  const double hwd = static_cast<double>(half_width_);
+  if (lo == full_lo && hi == full_hi) {
+    // Interior fast path: the whole kernel window is inside the stream.
+    const double x0 = t - static_cast<double>(lo);  // largest argument, > 0
+    const double s0 = std::sin(kPi * x0);
+    const double phi0 = kPi * x0 / hwd;
+    double cw = std::cos(phi0);
+    double sw = std::sin(phi0);
+
+    cplx acc{0.0, 0.0};
+    double sign = 1.0;  // (-1)^j for the sine alternation
+    for (std::ptrdiff_t i = lo; i <= hi; ++i) {
+      const double xv = t - static_cast<double>(i);
+      if (std::abs(xv) < hwd) {
+        double k;
+        if (std::abs(xv) < 1e-9) {
+          k = 0.5 * (1.0 + cw);
+        } else {
+          const double s = sign * s0 / (kPi * xv);   // sinc(xv)
+          k = s * 0.5 * (1.0 + cw);                  // Hann window
+        }
+        acc += x[static_cast<std::size_t>(i)] * k;
+      }
+      // Advance the window rotor: cos(phi0 - (j+1)·dphi).
+      const double cn = cw * cd + sw * sd;
+      sw = sw * cd - cw * sd;
+      cw = cn;
+      sign = -sign;
+    }
+    return acc;
+  }
+
+  // Edge path: the stream boundary truncates the kernel window. A plain
+  // truncated sum loses the clipped taps' weight and comes back attenuated
+  // (a DC stream would read ~0.5 at the very first sample), so the clipped
+  // window is renormalized by the summed kernel weight: the usable taps are
+  // scaled by (full-window weight) / (in-range weight). Guarded so a
+  // pathological clipped weight near zero (possible in principle since
+  // sidelobes are negative) never amplifies noise.
+  const double x0 = t - static_cast<double>(full_lo);
   const double s0 = std::sin(kPi * x0);
   const double phi0 = kPi * x0 / hwd;
-  const double dphi = kPi / hwd;
   double cw = std::cos(phi0);
   double sw = std::sin(phi0);
-  const double cd = std::cos(dphi);
-  const double sd = std::sin(dphi);
 
   cplx acc{0.0, 0.0};
-  double sign = 1.0;  // (-1)^j for the sine alternation
-  for (std::ptrdiff_t i = lo; i <= hi; ++i) {
+  double wsum_full = 0.0;
+  double wsum_clip = 0.0;
+  double sign = 1.0;
+  for (std::ptrdiff_t i = full_lo; i <= full_hi; ++i) {
     const double xv = t - static_cast<double>(i);
     if (std::abs(xv) < hwd) {
       double k;
       if (std::abs(xv) < 1e-9) {
         k = 0.5 * (1.0 + cw);
       } else {
-        const double s = sign * s0 / (kPi * xv);   // sinc(xv)
-        k = s * 0.5 * (1.0 + cw);                  // Hann window
+        const double s = sign * s0 / (kPi * xv);
+        k = s * 0.5 * (1.0 + cw);
       }
-      acc += x[static_cast<std::size_t>(i)] * k;
+      wsum_full += k;
+      if (i >= lo && i <= hi) {
+        acc += x[static_cast<std::size_t>(i)] * k;
+        wsum_clip += k;
+      }
     }
-    // Advance the window rotor: cos(phi0 - (j+1)·dphi).
     const double cn = cw * cd + sw * sd;
     sw = sw * cd - cw * sd;
     cw = cn;
     sign = -sign;
   }
+  if (std::abs(wsum_clip) > 1e-6) {
+    const double renorm = wsum_full / wsum_clip;
+    if (renorm > 0.25 && renorm < 4.0) acc *= renorm;
+  }
   return acc;
+}
+
+cplx SincInterpolator::at(const CVec& x, double t) const {
+  const double dphi = kPi / static_cast<double>(half_width_);
+  const double cd = std::cos(dphi);
+  const double sd = std::sin(dphi);
+  return point(x, t, cd, sd);
+}
+
+void SincInterpolator::at_batch(const CVec& x, std::span<const double> t,
+                                cplx* out) const {
+  const double dphi = kPi / static_cast<double>(half_width_);
+  const double cd = std::cos(dphi);
+  const double sd = std::sin(dphi);
+  for (std::size_t j = 0; j < t.size(); ++j) out[j] = point(x, t[j], cd, sd);
+}
+
+void SincInterpolator::at_uniform(const CVec& x, double t0, double dt,
+                                  std::size_t n, cplx* out) const {
+  const double dphi = kPi / static_cast<double>(half_width_);
+  const double cd = std::cos(dphi);
+  const double sd = std::sin(dphi);
+  for (std::size_t j = 0; j < n; ++j)
+    out[j] = point(x, t0 + dt * static_cast<double>(j), cd, sd);
 }
 
 CVec SincInterpolator::shift(const CVec& x, double mu,
                              double drift_per_sample) const {
+  // A whole-stream resample is one long block evaluation: hoist the
+  // recurrence constants like at_batch does, keeping the historical
+  // per-sample position formula (bit-identical to calling at() per sample).
+  const double dphi = kPi / static_cast<double>(half_width_);
+  const double cd = std::cos(dphi);
+  const double sd = std::sin(dphi);
   CVec y(x.size());
   for (std::size_t n = 0; n < x.size(); ++n) {
     const double t =
         static_cast<double>(n) + mu + drift_per_sample * static_cast<double>(n);
-    y[n] = at(x, t);
+    y[n] = point(x, t, cd, sd);
   }
   return y;
 }

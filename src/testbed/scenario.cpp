@@ -423,6 +423,11 @@ ScenarioStats run_logged_joint(Rng& rng, const Scenario& sc) {
     }
 
     std::vector<bool> ok(n, false);
+    // Chunk-decode memo shared by this round's joint decodes: when a failed
+    // decode tops up with an extra equation, the re-decode replays every
+    // chunk whose schedule the new equation did not perturb (bit-identical
+    // to decoding from scratch — see DecodeCache).
+    zigzag::DecodeCache cache;
     for (;;) {
       std::vector<zigzag::CollisionInput> inputs(recs.size());
       for (std::size_t c = 0; c < recs.size(); ++c) {
@@ -456,7 +461,7 @@ ScenarioStats run_logged_joint(Rng& rng, const Scenario& sc) {
                          pkt_syms);
       } else {
         const zigzag::ZigZagDecoder dec(sc.joint_decode);
-        res = dec.decode({ordered.data(), ordered.size()}, profiles, n);
+        res = dec.decode({ordered.data(), ordered.size()}, profiles, n, &cache);
       }
       for (std::size_t i = 0; i < n; ++i)
         ok[i] = res.packets[i].header_ok &&

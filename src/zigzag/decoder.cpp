@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "zz/chan/channel.h"
 #include "zz/common/mathutil.h"
@@ -13,7 +16,70 @@
 #include "zz/signal/scratch.h"
 
 namespace zz::zigzag {
+
+// ------------------------------------------------------------- DecodeCache
+
+struct DecodeCache::Impl {
+  struct Entry {
+    std::uint64_t check = 0;  ///< second, independent fingerprint
+    phy::ChunkDecoder::Result res;
+    chan::ChannelParams params_out;
+    double noise_var_out = 0.0;
+    bool noise_seeded_out = false;
+  };
+  std::unordered_map<std::uint64_t, Entry> map;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+DecodeCache::DecodeCache() : impl_(std::make_unique<Impl>()) {}
+DecodeCache::~DecodeCache() = default;
+
+void DecodeCache::clear() {
+  impl_->map.clear();
+  impl_->hits = 0;
+  impl_->misses = 0;
+}
+std::size_t DecodeCache::size() const { return impl_->map.size(); }
+std::size_t DecodeCache::hits() const { return impl_->hits; }
+std::size_t DecodeCache::misses() const { return impl_->misses; }
+
+/// Engine-side access to the cache internals (the engine lives in an
+/// anonymous namespace below and cannot be befriended directly).
+struct DecodeCacheAccess {
+  static DecodeCache::Impl& impl(DecodeCache& c) { return *c.impl_; }
+};
+
 namespace {
+
+/// Dual 64-bit FNV-1a over 64-bit words: a 128-bit bit-level fingerprint of
+/// a chunk decode's inputs. Two decodes with equal fingerprints have equal
+/// inputs for all practical purposes (collision odds ~2^-128 per pair), so
+/// replaying a cached result preserves bit-identity. Word-wise mixing keeps
+/// the sample-buffer hashing far cheaper than the decode it guards.
+struct Fingerprint {
+  std::uint64_t a = 14695981039346656037ull;
+  std::uint64_t b = 14695981039346656037ull ^ 0x9e3779b97f4a7c15ull;
+
+  void u64(std::uint64_t v) {
+    a = (a ^ v) * 1099511628211ull;
+    b = (b ^ (v + 0x9e3779b97f4a7c15ull)) * 0x100000001b3ull ^ (b >> 29);
+  }
+  void f64(double v) {
+    std::uint64_t w;
+    std::memcpy(&w, &v, sizeof w);
+    u64(w);
+  }
+  void cv(const CVec& v) {
+    // cplx is two doubles; hash the raw 64-bit lanes.
+    const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+    for (std::size_t i = 0; i < v.size() * 2; ++i) {
+      std::uint64_t w;
+      std::memcpy(&w, p + i * sizeof(std::uint64_t), sizeof w);
+      u64(w);
+    }
+  }
+};
 
 using phy::Modulation;
 
@@ -82,14 +148,16 @@ class Engine {
  public:
   Engine(std::span<const CollisionInput> collisions,
          std::span<const phy::SenderProfile> profiles, std::size_t num_packets,
-         const DecodeOptions& opt, const phy::ReceiverConfig& rxcfg)
+         const DecodeOptions& opt, const phy::ReceiverConfig& rxcfg,
+         DecodeCache* cache)
       : opt_(opt),
         rxcfg_(rxcfg),
         profiles_(profiles),
         inputs_(collisions),
         C_(collisions.size()),
         P_(num_packets),
-        dec_(opt.decoder_gains, opt.interp_half_width) {
+        dec_(opt.decoder_gains, opt.interp_half_width),
+        cache_(cache) {
     init();
   }
 
@@ -452,12 +520,20 @@ class Engine {
   // drift contribution into μ and its carrier rotation into ĥ.
   Window render_image(std::size_t p, std::size_t c, std::size_t k0,
                       std::size_t k1, CVec& img) const {
+    render_u(p, c, k0, k1, u_scratch_);
+    return render_image_from_u(p, c, k0, k1, u_scratch_, img);
+  }
+
+  // Same, from an already-rendered ISI-filtered symbol stream `u` (see
+  // render_u). The full-packet re-estimation scan renders the same symbol
+  // stream at many candidate timings; hoisting the (μ-independent) ISI
+  // stage out of that loop renders it once instead of once per candidate.
+  Window render_image_from_u(std::size_t p, std::size_t c, std::size_t k0,
+                             std::size_t k1, const CVec& u, CVec& img) const {
     const Link& l = links_[p][c];
     const Window w = image_window(p, c, k0, k1);
     img.assign(w.size(), cplx{0.0, 0.0});
     if (w.s1 <= w.s0) return w;
-
-    render_u(p, c, k0, k1, u_scratch_);
 
     chan::ChannelParams params = tracked(l).params;
     params.isi = sig::Fir();  // ISI already applied in render_u
@@ -466,7 +542,7 @@ class Engine {
     params.mu += static_cast<double>(shift) * params.drift;
     const double phi = kTwoPi * params.freq_offset * static_cast<double>(shift);
     params.h *= cplx{std::cos(phi), std::sin(phi)};
-    chan::add_signal(img, l.origin + shift - w.s0, u_scratch_, params, 1.0,
+    chan::add_signal(img, l.origin + shift - w.s0, u, params, 1.0,
                      opt_.interp_half_width);
     return w;
   }
@@ -495,10 +571,13 @@ class Engine {
 
   // Project the current residual onto the image to refine ĥ, δf̂, μ̂ of the
   // (p, c) link — the chunk-1′/chunk-1″ comparison of §4.2.4(b,c). `img`
-  // is the window-relative image covering samples [w.s0, w.s1).
-  void project_refine(std::size_t p, std::size_t c, const CVec& img,
+  // is the window-relative image covering samples [w.s0, w.s1). Returns
+  // true when the link estimate was actually updated — callers re-render
+  // the image only then (a bailed-out projection leaves the estimate, and
+  // therefore the image, untouched).
+  bool project_refine(std::size_t p, std::size_t c, const CVec& img,
                       const Window& w, std::size_t k0, std::size_t k1) {
-    if (!opt_.reconstruction_tracking) return;
+    if (!opt_.reconstruction_tracking) return false;
     Link& l = links_[p][c];
     // Only trust the projection when the region is mostly this packet.
     double foreign = 0.0;
@@ -507,9 +586,9 @@ class Engine {
       foreign += interference_at(p, c, k);
       ++count;
     }
-    if (count < 16) return;
+    if (count < 16) return false;
     const double own = std::norm(l.est.params.h);
-    if (foreign / static_cast<double>(count) > 0.25 * own) return;
+    if (foreign / static_cast<double>(count) > 0.25 * own) return false;
 
     cplx num{0.0, 0.0};
     double den = 0.0;
@@ -518,7 +597,7 @@ class Engine {
       num += std::conj(img[i]) * residual_[c][static_cast<std::size_t>(w.s0) + i];
       den += std::norm(img[i]);
     }
-    if (den < 1e-9) return;
+    if (den < 1e-9) return false;
     cplx eps = num / den - cplx{1.0, 0.0};
     if (std::abs(eps) > 0.5) eps *= 0.5 / std::abs(eps);
 
@@ -551,6 +630,7 @@ class Engine {
       td += std::norm(dimg[i]);
     }
     if (td > 1e-9) l.est.params.mu += std::clamp(0.3 * tn / td, -0.05, 0.05);
+    return true;
   }
 
   // Subtract p's symbols [k0,k1) from collision c (rendering through the
@@ -562,8 +642,7 @@ class Engine {
     if (!l.present) return;
     CVec& img = arena_.cvec(kSlotImg, 0);
     Window w = render_image(p, c, k0, k1, img);
-    project_refine(p, c, img, w, k0, k1);
-    if (opt_.reconstruction_tracking)
+    if (project_refine(p, c, img, w, k0, k1))
       w = render_image(p, c, k0, k1, img);  // re-render with refined estimate
     auto& acct = imgs_[p][c];
     if (acct.empty()) acct.assign(residual_[c].size(), cplx{0.0, 0.0});
@@ -600,6 +679,84 @@ class Engine {
       if (links_[p][c].present) subtract_range(p, c, k0, k1);
   }
 
+  // Run the black-box decoder through the optional chunk-decode memo: on a
+  // full-fingerprint match the stored result and post-decode link state are
+  // replayed instead of re-decoding (bit-identical by construction). The
+  // returned reference stays valid until the next cached_decode call
+  // (uncached path) or cache mutation (node-based map, stable nodes).
+  const phy::ChunkDecoder::Result& cached_decode(
+      const CVec& view, std::ptrdiff_t origin, std::size_t k0, std::size_t k1,
+      std::span<const phy::SymbolSpec> specs, phy::LinkEstimate& est,
+      bool backward) {
+    if (!cache_) {
+      last_res_ = dec_.decode(view, origin, k0, k1, specs, est, backward);
+      return last_res_;
+    }
+
+    Fingerprint fp;
+    fp.cv(view);
+    fp.u64(static_cast<std::uint64_t>(origin));
+    fp.u64(k0);
+    fp.u64(k1);
+    fp.u64(backward ? 1 : 0);
+    for (const auto& s : specs) {
+      fp.u64(static_cast<std::uint64_t>(s.mod) |
+             (s.pilot ? 0x100u : 0x0u));
+      if (s.pilot) {
+        fp.f64(s.pilot->real());
+        fp.f64(s.pilot->imag());
+      }
+    }
+    const auto& p = est.params;
+    fp.f64(p.h.real());
+    fp.f64(p.h.imag());
+    fp.f64(p.freq_offset);
+    fp.f64(p.mu);
+    fp.f64(p.drift);
+    fp.f64(est.noise_var);
+    fp.u64(est.noise_seeded ? 1 : 0);
+    fp.u64(p.isi.pre());
+    for (const cplx& t : p.isi.taps()) {
+      fp.f64(t.real());
+      fp.f64(t.imag());
+    }
+    fp.u64(est.equalizer.pre());
+    for (const cplx& t : est.equalizer.taps()) {
+      fp.f64(t.real());
+      fp.f64(t.imag());
+    }
+    const auto& g = dec_.gains();
+    fp.u64(g.block);
+    fp.f64(g.phase);
+    fp.f64(g.freq);
+    fp.f64(g.amplitude);
+    fp.f64(g.timing);
+    fp.u64(g.enabled ? 1 : 0);
+    fp.u64(dec_.interp_half_width());
+
+    auto& impl = DecodeCacheAccess::impl(*cache_);
+    const auto it = impl.map.find(fp.a);
+    if (it != impl.map.end() && it->second.check == fp.b) {
+      ++impl.hits;
+      est.params = it->second.params_out;
+      est.noise_var = it->second.noise_var_out;
+      est.noise_seeded = it->second.noise_seeded_out;
+      return it->second.res;
+    }
+    ++impl.misses;
+    // Decode BEFORE touching the map: populating the entry first would
+    // leave a poisoned (empty-result) entry behind if the decode threw,
+    // and a later identical lookup would silently replay it.
+    auto res = dec_.decode(view, origin, k0, k1, specs, est, backward);
+    auto& entry = impl.map[fp.a];
+    entry.check = fp.b;
+    entry.res = std::move(res);
+    entry.params_out = est.params;
+    entry.noise_var_out = est.noise_var;
+    entry.noise_seeded_out = est.noise_seeded;
+    return entry.res;
+  }
+
   void decode_chunk(std::size_t p, std::size_t c, std::size_t k0,
                     std::size_t k1, bool backward, int bank) {
     PacketCtx& pk = pkts_[p];
@@ -630,8 +787,8 @@ class Engine {
       if (k < pre.size()) specs[k - k0].pilot = pre[k];
     }
 
-    const auto res =
-        dec_.decode(view, l.origin - w0, k0, k1, specs, l.est, backward);
+    const auto& res =
+        cached_decode(view, l.origin - w0, k0, k1, specs, l.est, backward);
     ++chunks_;
 
     for (std::size_t k = k0; k < k1; ++k) {
@@ -1009,7 +1166,7 @@ class Engine {
   // phase slope across the packet — processing gain makes these estimates
   // far better than what a buried 32-symbol preamble could give (§4.2.4
   // generalized to reconstructed images).
-  void reestimate_link(std::size_t p, std::size_t c) {
+  void reestimate_link(std::size_t p, std::size_t c, const CVec& u_full) {
     Link& l = links_[p][c];
     if (!l.present || !opt_.reconstruction_tracking) return;
     const PacketCtx& pk = pkts_[p];
@@ -1031,7 +1188,7 @@ class Engine {
     for (int i = -3; i <= 3; ++i) {
       const double dmu = step * i;
       l.est.params.mu = mu0 + dmu;
-      const Window w = render_image(p, c, 0, pk.len, img);
+      const Window w = render_image_from_u(p, c, 0, pk.len, u_full, img);
       cplx num{0.0, 0.0};
       double den = 0.0;
       for (std::size_t j = 0; j < img.size(); ++j) {
@@ -1060,7 +1217,7 @@ class Engine {
       l.est.params.h *= best_corr;
 
     // Residual frequency from the phase slope between the packet halves.
-    const Window w = render_image(p, c, 0, pk.len, img);
+    const Window w = render_image_from_u(p, c, 0, pk.len, u_full, img);
     cplx g[2] = {cplx{0.0, 0.0}, cplx{0.0, 0.0}};
     double t[2] = {0.0, 0.0}, e[2] = {0.0, 0.0};
     const double mid =
@@ -1099,12 +1256,16 @@ class Engine {
       for (std::size_t c = 0; c < C_; ++c) {
         Link& l = links_[p][c];
         if (!l.present || imgs_[p][c].empty()) continue;
-        reestimate_link(p, c);
+        // The ISI-filtered symbol stream is μ/ĥ-independent: render it once
+        // and share it across the re-estimation scan and the fresh image.
+        CVec& u_full = arena_.cvec(kSlotEstU, 0);
+        render_u(p, c, 0, pk.len, u_full);
+        reestimate_link(p, c, u_full);
         // Replace the account with a fresh full-packet image rendered under
         // the final estimates. The old account can extend (slightly) past
         // the fresh window when μ̂ moved, so clear it everywhere.
         CVec& fresh = arena_.cvec(kSlotEstImg, 0);
-        const Window w = render_image(p, c, 0, pk.len, fresh);
+        const Window w = render_image_from_u(p, c, 0, pk.len, u_full, fresh);
         auto& acct = imgs_[p][c];
         for (std::size_t n = 0; n < acct.size(); ++n) {
           residual_[c][n] += acct[n];
@@ -1141,6 +1302,9 @@ class Engine {
         for (std::size_t n = 0; n < view.size(); ++n)
           view[n] = residual_[c][n] +
                     (acct.empty() ? cplx{0.0, 0.0} : acct[n]);
+        // Full-packet refinement decodes are not memoized: their entries
+        // would dwarf the chunk entries for a stage that only replays when
+        // every prior chunk already hit the memo.
         const auto res = dec_.decode(view, l.origin, 0, pk.len, specs, l.est,
                                      /*backward=*/false);
         for (std::size_t k = 0; k < pk.len; ++k) {
@@ -1287,6 +1451,7 @@ class Engine {
     kSlotView,      ///< decode_chunk / refinement re-decode view
     kSlotEstImg,    ///< reestimate_link / refinement fresh full-packet image
     kSlotEstView,   ///< reestimate_link add-back view
+    kSlotEstU,      ///< refinement shared ISI-filtered symbol stream
   };
 
   const DecodeOptions& opt_;
@@ -1306,6 +1471,8 @@ class Engine {
   std::vector<std::vector<CVec>> soft_[2];              // [bank][p][c]
   std::vector<std::vector<std::vector<std::uint8_t>>> soft_ok_[2];
   std::vector<std::vector<double>> bank_nv_[2];         // [bank][p][c]
+  DecodeCache* cache_ = nullptr;
+  phy::ChunkDecoder::Result last_res_;  ///< cached_decode's uncached return
   mutable sig::ScratchArena arena_;
   mutable CVec u_scratch_;  ///< render_u output inside render_image*
   std::size_t chunks_ = 0;
@@ -1325,12 +1492,13 @@ ZigZagDecoder::ZigZagDecoder(DecodeOptions opt, phy::ReceiverConfig rxcfg)
 
 DecodeResult ZigZagDecoder::decode(std::span<const CollisionInput> collisions,
                                    std::span<const phy::SenderProfile> profiles,
-                                   std::size_t num_packets) const {
+                                   std::size_t num_packets,
+                                   DecodeCache* cache) const {
   if (collisions.empty() || num_packets == 0) return {};
   for (const auto& ci : collisions)
     if (ci.samples == nullptr)
       throw std::invalid_argument("ZigZagDecoder: null samples");
-  Engine engine(collisions, profiles, num_packets, opt_, rxcfg_);
+  Engine engine(collisions, profiles, num_packets, opt_, rxcfg_, cache);
   return engine.run();
 }
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -30,6 +31,38 @@
 #include "zz/zigzag/detector.h"
 
 namespace zz::zigzag {
+
+/// Memo of black-box chunk-decode results keyed by a bit-level fingerprint
+/// of the exact decode inputs (view samples, window-relative origin, symbol
+/// range, direction, symbol specs, link state, decoder configuration).
+/// Callers that joint-decode several times over a growing equation set —
+/// run_logged_joint's §4.5 extra-equation top-ups, the live receiver's
+/// widening search — hand the same cache to every ZigZagDecoder::decode
+/// call: chunks whose schedule did not change replay their inputs
+/// bit-identically and skip the ChunkDecoder, so only chunks the new
+/// equation actually perturbs are re-decoded. A hit requires the full
+/// 128-bit fingerprint to match, so the decode output is bit-identical to
+/// the from-scratch route by construction (test-enforced).
+class DecodeCache {
+ public:
+  DecodeCache();
+  ~DecodeCache();
+  // Neither movable nor copyable: every accessor (and the decoder itself)
+  // dereferences the pimpl unconditionally, so a moved-from cache would be
+  // a null-deref landmine. Callers share caches by pointer.
+  DecodeCache(DecodeCache&&) = delete;
+  DecodeCache& operator=(DecodeCache&&) = delete;
+
+  void clear();
+  std::size_t size() const;    ///< stored chunk decodes
+  std::size_t hits() const;    ///< lookups served from the cache
+  std::size_t misses() const;  ///< lookups that ran the ChunkDecoder
+
+ private:
+  friend struct DecodeCacheAccess;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// How a decode pass orders the interference-free chunks it finds.
 enum class ChunkOrder {
@@ -100,9 +133,12 @@ class ZigZagDecoder {
   /// Decode `num_packets` packets from the given collisions. Placements
   /// reference packets by index < num_packets; a packet may appear in any
   /// subset of the collisions (Fig 4-1 covers the shapes this handles).
+  /// `cache`, when given, memoizes chunk decodes across calls (see
+  /// DecodeCache) — results are bit-identical with or without it.
   DecodeResult decode(std::span<const CollisionInput> collisions,
                       std::span<const phy::SenderProfile> profiles,
-                      std::size_t num_packets) const;
+                      std::size_t num_packets,
+                      DecodeCache* cache = nullptr) const;
 
  private:
   DecodeOptions opt_;

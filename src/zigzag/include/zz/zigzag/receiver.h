@@ -106,6 +106,10 @@ class ZigZagReceiver {
 
   ReceiverOptions opt_;
   PacketMatcher matcher_;  ///< §4.2.2 engine route, reused across receptions
+  /// Chunk-decode memo for one reception's widening search (§4.5): as the
+  /// joint decode retries with more stored receptions, chunks the extra
+  /// equation does not perturb replay from the memo. Cleared per receive().
+  DecodeCache joint_cache_;
   std::vector<phy::SenderProfile> clients_;
   std::deque<PendingCollision> pending_;
   std::set<std::pair<std::uint8_t, std::uint16_t>> delivered_keys_;

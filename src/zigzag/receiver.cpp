@@ -119,7 +119,7 @@ std::vector<Delivered> ZigZagReceiver::try_joint(
 
   const ZigZagDecoder dec(opt_.decode, opt_.rx);
   const auto res = dec.decode({inputs.data(), inputs.size()}, clients_,
-                              registry.size());
+                              registry.size(), &joint_cache_);
 
   std::vector<Delivered> out;
   for (const auto& p : res.packets) {
@@ -167,6 +167,7 @@ void ZigZagReceiver::remember(const CVec& rx, std::vector<Detection> dets) {
 }
 
 std::vector<Delivered> ZigZagReceiver::receive(const CVec& rx) {
+  joint_cache_.clear();  // memo is per-reception (bounds memory)
   const CollisionDetector detector(opt_.detector);
   const auto dets = detector.detect(rx, clients_);
   if (dets.empty()) return {};

@@ -115,6 +115,44 @@ TEST(Channel, DerivativeMatchesFiniteDifference) {
   }
 }
 
+TEST(Channel, RenderGroupWidthsAreBitIdentical) {
+  // The render packs symbol groups into SIMD lanes (scalar, SSE2 pairs,
+  // AVX2 quads by CPU dispatch) under a bit-exactness contract — the drift
+  // gates only ever exercise the widest path the CI machine dispatches, so
+  // pin the narrower paths against it here.
+  Rng rng(606);
+  const CVec x = random_bpsk(rng, 257);  // odd count: exercises group tails
+  ChannelParams p;
+  p.h = {1.3, -0.4};
+  p.freq_offset = 7e-4;
+  p.mu = 0.31;
+  p.drift = 1.3e-6;
+  p.isi = sig::Fir({cplx{0.06, 0.02}, cplx{1.0, 0.0}, cplx{0.12, -0.04}}, 1);
+
+  const auto render_with = [&](int width, bool derivative) {
+    set_render_group_width_for_test(width);
+    CVec buf(620, cplx{0.0, 0.0});
+    if (derivative)
+      add_signal_derivative(buf, 16, x, p);
+    else
+      add_signal(buf, 16, x, p);
+    set_render_group_width_for_test(0);
+    return buf;
+  };
+
+  for (const bool derivative : {false, true}) {
+    const CVec widest = render_with(0, derivative);  // CPU dispatch
+    for (const int width : {1, 2, 4}) {
+      const CVec forced = render_with(width, derivative);
+      ASSERT_EQ(widest.size(), forced.size());
+      for (std::size_t i = 0; i < widest.size(); ++i)
+        ASSERT_EQ(widest[i], forced[i])
+            << "width=" << width << " derivative=" << derivative
+            << " i=" << i;
+    }
+  }
+}
+
 TEST(Channel, RandomChannelRespectsConfig) {
   Rng rng(8);
   ImpairmentConfig cfg;

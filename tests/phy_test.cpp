@@ -287,6 +287,127 @@ INSTANTIATE_TEST_SUITE_P(
                       RxCase{30.0, 200, Modulation::QAM64},
                       RxCase{12.0, 1500, Modulation::BPSK}));
 
+// ---------------------------------------------------------------------------
+// Chunk decoder: block interpolation engine + tracking edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(ChunkDecoder, BatchedRouteBitIdenticalToPerSymbol) {
+  // The batched per-tracking-block fetch (SincInterpolator::at_batch) must
+  // reproduce the per-symbol raw_symbol route bit-for-bit — same decode,
+  // same tracked link state — across random channels and seeds.
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    Rng rng(seed);
+    FrameHeader h;
+    h.sender_id = 3;
+    h.seq = static_cast<std::uint16_t>(seed);
+    h.payload_bytes = 120;
+    const TxFrame f = build_frame(h, rng.bytes(120));
+
+    chan::ImpairmentConfig icfg;
+    icfg.snr_db = 12.0;
+    icfg.freq_offset_max = 2e-3;
+    const auto cp = chan::random_channel(rng, icfg);
+    const CVec rx = chan::clean_reception(rng, f.symbols, cp);
+    const auto pe = estimate_at_peak(rx, 64, cp.freq_offset);
+
+    const auto make_est = [&] {
+      LinkEstimate est;
+      est.params.h = pe.h;
+      est.params.freq_offset = cp.freq_offset;
+      est.params.mu = pe.mu;
+      est.params.isi = cp.isi;
+      est.equalizer = cp.isi.inverse(7, 3);  // non-trivial guard margin
+      est.noise_var = estimate_noise_floor(rx);
+      return est;
+    };
+
+    const std::size_t total = layout_for(h).total_syms;
+    std::vector<SymbolSpec> specs(total);
+    const CVec& pre = preamble(kPreambleLength);
+    for (std::size_t k = 0; k < total; ++k) {
+      specs[k].mod = Modulation::BPSK;
+      if (k < pre.size()) specs[k].pilot = pre[k];
+    }
+
+    const ChunkDecoder batched({}, 8, /*block_interp=*/true);
+    const ChunkDecoder persym({}, 8, /*block_interp=*/false);
+    LinkEstimate ea = make_est(), eb = make_est();
+    const auto ra = batched.decode(rx, pe.origin, 0, total, specs, ea);
+    const auto rb = persym.decode(rx, pe.origin, 0, total, specs, eb);
+
+    ASSERT_EQ(ra.soft.size(), rb.soft.size());
+    for (std::size_t k = 0; k < ra.soft.size(); ++k) {
+      EXPECT_EQ(ra.soft[k], rb.soft[k]) << "seed=" << seed << " k=" << k;
+      EXPECT_EQ(ra.decided[k], rb.decided[k]) << "seed=" << seed << " k=" << k;
+    }
+    EXPECT_EQ(ra.noise_var, rb.noise_var);
+    EXPECT_EQ(ea.params.h, eb.params.h);
+    EXPECT_EQ(ea.params.freq_offset, eb.params.freq_offset);
+    EXPECT_EQ(ea.params.mu, eb.params.mu);
+    EXPECT_EQ(ea.noise_var, eb.noise_var);
+  }
+}
+
+TEST(ChunkDecoder, ShortBlockUpdatesTiming) {
+  // A <=2-symbol block (short tail chunk) used to skip the timing-error
+  // estimator entirely — its central-difference loop was empty — while
+  // still applying phase/amplitude corrections. The degenerate block now
+  // uses the one-sided slope: a known sampling offset must pull mu toward
+  // the truth.
+  CVec syms = {cplx{1.0, 0.0}, cplx{-1.0, 0.0}};
+  chan::ChannelParams cp;
+  cp.h = {1.0, 0.0};
+  cp.mu = 0.3;  // true sampling offset the estimate does not know about
+  CVec buf(96, cplx{0.0, 0.0});
+  chan::add_signal(buf, 32, syms, cp);
+
+  LinkEstimate est;  // mu = 0: sampling early by 0.3 samples
+  std::vector<SymbolSpec> specs(2);
+  specs[0] = {Modulation::BPSK, syms[0]};
+  specs[1] = {Modulation::BPSK, syms[1]};
+  const ChunkDecoder dec;
+  (void)dec.decode(buf, 32, 0, 2, specs, est);
+  EXPECT_GT(est.params.mu, 0.01) << "degenerate block left mu untouched";
+  EXPECT_LT(est.params.mu, 0.3 + 0.05);
+}
+
+TEST(ChunkDecoder, NoiseEwmaSeedsFromFirstMeasurement) {
+  Rng rng(77);
+  FrameHeader h;
+  h.payload_bytes = 80;
+  const TxFrame f = build_frame(h, rng.bytes(80));
+  chan::ChannelParams cp;
+  cp.h = std::sqrt(db_to_lin(12.0)) * rng.unit_phasor();
+  cp.mu = 0.1;
+  const CVec rx = chan::clean_reception(rng, f.symbols, cp);
+  const auto pe = estimate_at_peak(rx, 64, 0.0);
+
+  LinkEstimate est;
+  est.params.h = pe.h;
+  est.params.mu = pe.mu;
+  est.noise_var = 123.0;  // prior of a different scale must not leak in
+  ASSERT_FALSE(est.noise_seeded);
+
+  const std::size_t total = layout_for(h).total_syms;
+  std::vector<SymbolSpec> specs(total);
+  const CVec& pre = preamble(kPreambleLength);
+  for (std::size_t k = 0; k < total; ++k) {
+    specs[k].mod = Modulation::BPSK;
+    if (k < pre.size()) specs[k].pilot = pre[k];
+  }
+
+  const ChunkDecoder dec;
+  const auto first =
+      dec.decode(rx, pe.origin, 0, 64, {specs.data(), 64}, est);
+  EXPECT_TRUE(est.noise_seeded);
+  EXPECT_DOUBLE_EQ(est.noise_var, first.noise_var);  // seeded, not blended
+
+  const double prev = est.noise_var;
+  const auto second =
+      dec.decode(rx, pe.origin, 64, 128, {specs.data() + 64, 64}, est);
+  EXPECT_DOUBLE_EQ(est.noise_var, 0.9 * prev + 0.1 * second.noise_var);
+}
+
 TEST(Receiver, NoiseFloorEstimate) {
   Rng rng(9);
   CVec rx(600, cplx{});

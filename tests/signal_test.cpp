@@ -122,6 +122,58 @@ TEST(Interp, IntegerShiftIsExact) {
     EXPECT_LT(std::abs(interp.at(x, static_cast<double>(i)) - x[i]), 1e-9);
 }
 
+TEST(Interp, BlockEvaluationMatchesPerSampleGolden) {
+  // at_uniform / at_batch are the decoder's per-tracking-block fetch path;
+  // they must agree with the per-sample route at <= 1e-12 (the
+  // implementation is in fact bit-identical — same per-point arithmetic
+  // with the recurrence constants hoisted).
+  const SincInterpolator interp(8);
+  const CVec x = bandlimited(256);
+  const double t0 = 37.413, dt = 2.0000037;  // symbol-rate run with drift
+  constexpr std::size_t n = 96;
+  CVec out(n);
+  interp.at_uniform(x, t0, dt, n, out.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx ref = interp.at(x, t0 + dt * static_cast<double>(j));
+    EXPECT_LE(std::abs(out[j] - ref), 1e-12) << "j=" << j;
+  }
+
+  std::vector<double> pos;
+  Rng rng(5);
+  for (std::size_t j = 0; j < 64; ++j) pos.push_back(rng.uniform(-8.0, 264.0));
+  CVec batch(pos.size());
+  interp.at_batch(x, pos, batch.data());
+  for (std::size_t j = 0; j < pos.size(); ++j) {
+    const cplx ref = interp.at(x, pos[j]);
+    EXPECT_EQ(batch[j], ref) << "j=" << j;  // bit-identical by construction
+  }
+}
+
+TEST(Interp, EdgeWindowKeepsInteriorGain) {
+  // A truncated kernel window at the stream edge used to come back
+  // attenuated (a DC stream read ~0.5 at sample 0); the clipped window is
+  // now renormalized by its summed kernel weight, so edge samples keep
+  // interior gain.
+  const SincInterpolator interp(8);
+  const CVec x(64, cplx{1.0, 0.0});
+  const double interior = std::abs(interp.at(x, 32.3));
+  EXPECT_NEAR(interior, 1.0, 0.01);
+  for (const double t : {0.0, 0.3, 1.7, 4.4, 58.6, 62.7, 63.0}) {
+    EXPECT_NEAR(std::abs(interp.at(x, t)), interior, 0.02) << "t=" << t;
+  }
+}
+
+TEST(Interp, ShiftInheritsEdgeRenormalization) {
+  const SincInterpolator interp(8);
+  const CVec x(64, cplx{1.0, 0.0});
+  const CVec y = interp.shift(x, 0.37);
+  // First/last samples keep ~unit gain instead of reading the old ~50%.
+  EXPECT_NEAR(std::abs(y.front()), 1.0, 0.02);
+  EXPECT_NEAR(std::abs(y[1]), 1.0, 0.02);
+  EXPECT_NEAR(std::abs(y[y.size() - 2]), 1.0, 0.02);
+  EXPECT_NEAR(std::abs(y.back()), 1.0, 0.02);
+}
+
 TEST(Interp, RejectsZeroHalfWidth) {
   EXPECT_THROW(SincInterpolator(0), std::invalid_argument);
 }

@@ -688,6 +688,104 @@ TEST(Decoder, ForwardBackwardBeatsForwardOnly) {
   EXPECT_LE(err_both, err_fwd);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental joint decode (DecodeCache).
+// ---------------------------------------------------------------------------
+
+// Field-wise bit-identity of two decode results.
+void expect_identical_results(const DecodeResult& a, const DecodeResult& b) {
+  EXPECT_EQ(a.chunks, b.chunks);
+  EXPECT_EQ(a.stall_breaks, b.stall_breaks);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t p = 0; p < a.packets.size(); ++p) {
+    const auto& pa = a.packets[p];
+    const auto& pb = b.packets[p];
+    EXPECT_EQ(pa.header_ok, pb.header_ok);
+    EXPECT_EQ(pa.crc_ok, pb.crc_ok);
+    EXPECT_EQ(pa.symbols_decoded, pb.symbols_decoded);
+    if (pa.header_ok && pb.header_ok) {
+      EXPECT_EQ(pa.header, pb.header);
+    }
+    EXPECT_EQ(pa.air_bits, pb.air_bits);
+    EXPECT_EQ(pa.payload, pb.payload);
+    ASSERT_EQ(pa.soft.size(), pb.soft.size());
+    for (std::size_t k = 0; k < pa.soft.size(); ++k)
+      EXPECT_EQ(pa.soft[k], pb.soft[k]) << "p=" << p << " k=" << k;
+  }
+}
+
+TEST(Decoder, IncrementalTopUpBitIdenticalToFromScratch) {
+  // run_logged_joint's §4.5 top-up shape: decode an equation set, then
+  // decode again with one extra logged collision, reusing the chunk-decode
+  // memo. The incremental decode must be bit-identical to decoding the
+  // widened set from scratch, and chunks the new equation did not perturb
+  // must replay from the memo.
+  for (const std::uint64_t seed : {71u, 72u, 73u, 74u, 75u}) {
+    Rng rng(seed);
+    auto s = make_pair_scenario(rng, 160, 10.0, 210, 620);
+    // A third logged collision: one more retransmission round.
+    const auto a3 = chan::retransmission_channel(rng, s.alice.channel, 0.0);
+    const auto b3 = chan::retransmission_channel(rng, s.bob.channel, 0.0);
+    const emu::Reception c3 = emu::CollisionBuilder()
+                                  .lead(64)
+                                  .add(phy::with_retry(s.alice.frame, true), a3, 0)
+                                  .add(phy::with_retry(s.bob.frame, true), b3, 415)
+                                  .build(rng);
+    CollisionInput in3;
+    in3.samples = &c3.samples;
+    in3.is_retransmission = true;
+    in3.placements = {
+        {0, detect_at(c3.samples, c3.truth[0].start, s.alice.profile, 0)},
+        {1, detect_at(c3.samples, c3.truth[1].start, s.bob.profile, 1)}};
+
+    const ZigZagDecoder dec;
+    DecodeCache cache;
+    const CollisionInput two[2] = {s.in1, s.in2};
+    (void)dec.decode({two, 2}, s.profiles, 2, &cache);  // initial equations
+
+    const CollisionInput three[3] = {s.in1, s.in2, in3};
+    const std::size_t hits_before = cache.hits();
+    const auto incremental = dec.decode({three, 3}, s.profiles, 2, &cache);
+    EXPECT_GT(cache.hits(), hits_before)
+        << "top-up re-decoded every chunk from scratch (seed " << seed << ")";
+
+    const auto scratch = ZigZagDecoder().decode({three, 3}, s.profiles, 2);
+    expect_identical_results(incremental, scratch);
+  }
+}
+
+TEST(Decoder, RepeatDecodeReplaysEntirelyFromCache) {
+  // Decoding the identical equation set twice through one cache must not
+  // run the black-box decoder again for any chunk — and must reproduce the
+  // result bit-for-bit.
+  Rng rng(76);
+  auto s = make_pair_scenario(rng, 200, 10.0, 300, 700);
+  const ZigZagDecoder dec;
+  DecodeCache cache;
+  const CollisionInput inputs[2] = {s.in1, s.in2};
+  const auto first = dec.decode({inputs, 2}, s.profiles, 2, &cache);
+  const std::size_t misses_after_first = cache.misses();
+  const auto second = dec.decode({inputs, 2}, s.profiles, 2, &cache);
+  EXPECT_EQ(cache.misses(), misses_after_first);  // all chunk decodes hit
+  EXPECT_GT(cache.hits(), 0u);
+  expect_identical_results(first, second);
+}
+
+TEST(Decoder, CachedDecodeMatchesUncached) {
+  // The cache must be an invisible optimization: with or without it, the
+  // decode result is bit-identical.
+  for (const std::uint64_t seed : {81u, 82u, 83u}) {
+    Rng rng(seed);
+    auto s = make_pair_scenario(rng, 180, 11.0, 250, 640);
+    const ZigZagDecoder dec;
+    DecodeCache cache;
+    const CollisionInput inputs[2] = {s.in1, s.in2};
+    const auto with_cache = dec.decode({inputs, 2}, s.profiles, 2, &cache);
+    const auto without = dec.decode({inputs, 2}, s.profiles, 2);
+    expect_identical_results(with_cache, without);
+  }
+}
+
 TEST(Decoder, QpskCollisionsDecode) {
   // §4.2.3(a): the decoder is modulation-agnostic.
   Rng rng(41);

@@ -3,6 +3,14 @@
 //
 // Usage:
 //   run_all [--quick | --full] [--check] [--bin-dir <dir>] [--out <file>]
+//           [--only <name,name,...>] [--wall-scale <x>]
+//
+// --only restricts the run to a comma-separated subset of the baseline
+// benches (ci.sh --sanitize uses it for a fast deterministic subset sized
+// for sanitizer overhead). --wall-scale multiplies every wall-time budget —
+// sanitizer instrumentation slows the benches 2-10x, and without the
+// multiplier --check would hard-fail budgets that measure the tool, not a
+// regression.
 //
 // The committed baseline covers EVERY deterministic paper bench: the
 // headline subset the ROADMAP's perf/accuracy trajectory tracks
@@ -341,6 +349,10 @@ void check_baseline_comparison(const BenchRun& r, bool quick) {
 // decode-engine numbers (PR 5); tiny benches get a 2 s floor so machine
 // noise cannot flake them. --full runs 4x the samples (bench_util
 // run_scale), so its budgets scale.
+// Multiplier applied to every wall budget (--wall-scale); 1.0 in plain
+// runs, >1 under sanitizer instrumentation.
+double wall_scale = 1.0;
+
 void check_wall_time(const BenchRun& r, bool quick, bool full) {
   double budget_ms = 0.0;
   // Headline subset (measured single-core: 5.9 s / 2.2 s / 8.8 s / 9.0 s).
@@ -366,6 +378,7 @@ void check_wall_time(const BenchRun& r, bool quick, bool full) {
       budget_ms = std::max(2000.0, 0.4 * budget_ms);
   }
   if (full) budget_ms *= 4.0;
+  budget_ms *= wall_scale;
   if (budget_ms > 0.0)
     check(r.wall_ms <= budget_ms,
           r.name + " took " + std::to_string(r.wall_ms) + " ms (budget " +
@@ -502,6 +515,7 @@ int main(int argc, char** argv) {
   std::string bin_dir = dir_of(argv[0]);
   std::string out = "BENCH_decoder.json";
   std::string baseline_path;
+  std::vector<std::string> only;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -519,10 +533,27 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (a == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (a == "--only" && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const auto comma = list.find(',', pos);
+        const auto end = comma == std::string::npos ? list.size() : comma;
+        if (end > pos) only.push_back(list.substr(pos, end - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (a == "--wall-scale" && i + 1 < argc) {
+      wall_scale = std::strtod(argv[++i], nullptr);
+      if (!(wall_scale > 0.0)) {
+        std::fprintf(stderr, "run_all: --wall-scale must be > 0\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--all] [--quick|--full] [--check] "
-                   "[--baseline <file>] [--bin-dir <dir>] [--out <file>]\n",
+                   "[--baseline <file>] [--bin-dir <dir>] [--out <file>] "
+                   "[--only <name,...>] [--wall-scale <x>]\n",
                    argv[0]);
       return 2;
     }
@@ -538,6 +569,22 @@ int main(int argc, char** argv) {
   (void)all;
   std::vector<std::string> names(std::begin(kBaselineBenches),
                                  std::end(kBaselineBenches));
+  if (!only.empty()) {
+    // Subset runs keep baseline order and reject unknown names loudly — a
+    // typo in a CI matrix leg must not silently run nothing.
+    std::vector<std::string> subset;
+    for (const auto& name : names)
+      if (std::find(only.begin(), only.end(), name) != only.end())
+        subset.push_back(name);
+    if (subset.size() != only.size()) {
+      for (const auto& o : only)
+        if (std::find(names.begin(), names.end(), o) == names.end())
+          std::fprintf(stderr, "run_all: --only names unknown bench '%s'\n",
+                       o.c_str());
+      return 2;
+    }
+    names = std::move(subset);
+  }
 
   std::vector<BenchRun> runs;
   int failures = 0;

@@ -3,11 +3,113 @@
 # tree, then the bench driver's regression gates against the committed
 # baseline.
 #
-#   ./ci.sh            # clean configure + build + ctest + bench gates
-#   ZZ_KEEP_BUILD=1 ./ci.sh   # reuse an existing build directory
+#   ./ci.sh                  # plain: configure + build + ctest + bench gates
+#   ./ci.sh --sanitize       # analysis matrix: ASan+UBSan leg, TSan leg,
+#                            #   clang -Wthread-safety + clang-tidy when a
+#                            #   suitable clang is installed (version-guarded)
+#   ./ci.sh --sanitize=asan  # one sanitizer leg only (CI matrix jobs)
+#   ./ci.sh --sanitize=tsan
+#   ZZ_KEEP_BUILD=1 ./ci.sh  # reuse existing build directories
+#
+# The PLAIN run stays authoritative for the bench drift gate: sanitizer legs
+# run the full test suite plus a fast deterministic bench subset with scaled
+# wall budgets (--wall-scale), but never the stdout drift-diff — the
+# instrumentation measures the tool, not the decoder. See docs/ANALYSIS.md.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+MODE="plain"
+case "${1:-}" in
+  "") ;;
+  --sanitize) MODE="matrix" ;;
+  --sanitize=asan) MODE="asan" ;;
+  --sanitize=tsan) MODE="tsan" ;;
+  *) echo "usage: $0 [--sanitize | --sanitize=asan | --sanitize=tsan]" >&2
+     exit 2 ;;
+esac
+
+SUPP_DIR="$PWD/scripts/sanitizers"
+# Fast deterministic benches, cheap enough that 2-10x sanitizer overhead
+# still finishes inside the (scaled) budgets.
+SAN_BENCHES="error_propagation,fig_4_2_correlation,fig_5_2_tracking_isi,lemma_4_4_1_ack"
+SAN_WALL_SCALE=12
+
+# --- one sanitizer leg: configure, build, ctest, fast bench subset -------
+run_sanitizer_leg() {  # $1 = asan|tsan
+  local leg="$1" build_dir san jobs
+  build_dir="build-$1"
+  if [[ "$leg" == "asan" ]]; then
+    san="address;undefined"
+  else
+    san="thread"
+  fi
+  # Sanitizer runtimes fail hard (halt_on_error) so a finding is a red
+  # build, never a console note; suppressions live in scripts/sanitizers/
+  # (policy: docs/ANALYSIS.md §2 — every entry carries a justification).
+  export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:check_initialization_order=1:strict_init_order=1:suppressions=$SUPP_DIR/asan.supp"
+  export LSAN_OPTIONS="suppressions=$SUPP_DIR/lsan.supp"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1:suppressions=$SUPP_DIR/ubsan.supp"
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$SUPP_DIR/tsan.supp"
+
+  # Cap parallelism: the suites spin their own 1/2/4-thread pools, and
+  # instrumented threads are far heavier than plain ones — `ctest -j
+  # $(nproc)` oversubscribes into wall-budget timeouts. TSan serializes
+  # worst, so it gets the tighter cap.
+  if [[ "$leg" == "tsan" ]]; then
+    jobs=$(( $(nproc) / 4 ))
+  else
+    jobs=$(( $(nproc) / 2 ))
+  fi
+  (( jobs >= 1 )) || jobs=1
+
+  if [[ -z "${ZZ_KEEP_BUILD:-}" ]]; then
+    rm -rf "$build_dir"
+  fi
+  cmake -B "$build_dir" -S . -DZZ_SANITIZE="$san"
+  cmake --build "$build_dir" -j "$(nproc)"
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs")
+
+  # Fast bench subset: exit codes + scaled wall budgets, no drift diff.
+  "./$build_dir/bench/run_all" --check \
+    --only "$SAN_BENCHES" --wall-scale "$SAN_WALL_SCALE" \
+    --out "$build_dir/BENCH_sanitize.json"
+  echo "ci.sh: $leg leg green ($build_dir)"
+}
+
+# --- clang-only static analysis: thread-safety contract + clang-tidy -----
+run_clang_static() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "ci.sh: clang++ not found — skipping -Wthread-safety leg" \
+         "(the contract is still enforced by the GitHub Actions matrix)"
+  else
+    local build_dir="build-tsa"
+    if [[ -z "${ZZ_KEEP_BUILD:-}" ]]; then
+      rm -rf "$build_dir"
+    fi
+    # Compile-only leg: -Wthread-safety violations are errors
+    # (ZZ_THREAD_SAFETY), so a clean build IS the machine-checked proof of
+    # the ThreadPool/DecodeCache locking contracts.
+    cmake -B "$build_dir" -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DZZ_THREAD_SAFETY=ON
+    cmake --build "$build_dir" -j "$(nproc)"
+    echo "ci.sh: clang -Wthread-safety leg green ($build_dir)"
+  fi
+  ./scripts/run_clang_tidy.sh || exit 1
+}
+
+if [[ "$MODE" == "asan" || "$MODE" == "tsan" ]]; then
+  run_sanitizer_leg "$MODE"
+  exit 0
+fi
+if [[ "$MODE" == "matrix" ]]; then
+  run_sanitizer_leg asan
+  run_sanitizer_leg tsan
+  run_clang_static
+  echo "ci.sh: sanitizer matrix green"
+  exit 0
+fi
+
+# ------------------------------------------------------------- plain tier-1
 if [[ -z "${ZZ_KEEP_BUILD:-}" ]]; then
   rm -rf build
 fi
@@ -30,10 +132,11 @@ cmake --build build -j "$(nproc)"
   --out build/BENCH_decoder.json
 test -s build/BENCH_decoder.json
 
-# --- Docs-consistency: every src/<module> must appear in the README module
-# map and docs/PAPER_MAP.md, and every bench target (the ZZ_BENCHES list
-# plus run_all/complexity) must appear in docs/PAPER_MAP.md — so the
-# paper-to-code map cannot silently rot as modules and benches are added.
+# --- Docs/conventions consistency: every src/<module> must appear in the
+# README module map and docs/PAPER_MAP.md, every bench target in
+# docs/PAPER_MAP.md, and the mechanical source conventions (include
+# hygiene, RNG discipline, bench registration) must hold — so neither the
+# paper-to-code map nor the code conventions silently rot.
 docs_fail=0
 for d in src/*/; do
   m="$(basename "$d")"
@@ -54,6 +157,7 @@ for b in $benches; do
     docs_fail=1
   }
 done
+./scripts/lint_conventions.sh || docs_fail=1
 if [[ "$docs_fail" -ne 0 ]]; then
   echo "ci.sh: docs-consistency check FAILED"
   exit 1

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Repo-convention lint (wired into ci.sh's docs-consistency block).
+#
+# Mechanical conventions that -Wall cannot see and reviews forget:
+#   1. Header guards: every committed header uses `#pragma once` — no
+#      ad-hoc #ifndef guards drifting out of sync with file moves.
+#   2. Include-path hygiene: src/ code includes project headers by their
+#      installed `zz/...` name, never by relative path, so the module
+#      boundaries in the CMake graph stay real.
+#   3. RNG discipline: no rand()/srand()/random() outside zz/common/rng —
+#      every stochastic element must flow from a seeded zz::Rng or the
+#      sharded-seed plumbing, or bit-exact reproducibility dies quietly.
+#   4. Bench registration: every bench/*.cpp is registered in ZZ_BENCHES
+#      (run_all.cpp and complexity.cpp are the two intentional exceptions),
+#      so a new bench cannot exist outside the build/docs/baseline gates.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+note() {
+  echo "lint_conventions: $1"
+  fail=1
+}
+
+# --- 1. pragma-once consistency ------------------------------------------
+while IFS= read -r h; do
+  grep -q '^#pragma once$' "$h" || note "$h: missing '#pragma once'"
+  if grep -qE '^#ifndef +[A-Z0-9_]*_H' "$h"; then
+    note "$h: classic #ifndef include guard (use #pragma once)"
+  fi
+done < <(find src bench tests -name '*.h' | sort)
+
+# --- 2. zz/ include-path hygiene in src/ ---------------------------------
+# Quoted includes in src/ must name an installed zz/ header; relative
+# escapes ("../", "include/zz/...") bypass the module dependency graph.
+while IFS= read -r line; do
+  note "non-zz/ quoted include in src/: $line"
+done < <(grep -rn '#include "' src --include='*.h' --include='*.cpp' \
+           | grep -v '#include "zz/')
+
+# --- 3. RNG discipline ----------------------------------------------------
+# \brand( does not match operand( / uniform_rand( etc.; common/rng.* and
+# this script are the only places allowed to say rand.
+while IFS= read -r line; do
+  note "raw C rand in non-rng code (use zz::Rng): $line"
+done < <(grep -rnE '\b(std::)?(rand|srand|random)\(' \
+           src bench tests examples \
+           --include='*.h' --include='*.cpp' \
+           | grep -v '^src/common/rng\.' \
+           | grep -v '^src/common/include/zz/common/rng\.h')
+
+# --- 4. bench registration ------------------------------------------------
+benches="$(sed -n '/^set(ZZ_BENCHES$/,/)$/p' bench/CMakeLists.txt)"
+for f in bench/*.cpp; do
+  b="$(basename "$f" .cpp)"
+  case "$b" in
+    run_all|complexity) continue ;;  # driver / Google-Benchmark binary
+  esac
+  grep -qE "^  $b\)?\$" <<<"$benches" || \
+    note "$f not registered in ZZ_BENCHES (bench/CMakeLists.txt)"
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "lint_conventions: FAILED"
+  exit 1
+fi
+echo "lint_conventions: clean"

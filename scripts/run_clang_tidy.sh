@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# clang-tidy over every src/ module with the committed .clang-tidy profile.
+#
+# Version-guarded: the profile uses check names (concurrency-*, performance-
+# enum-size exclusions) that need clang-tidy >= 14; older or missing tools
+# skip with a notice instead of failing, so the plain gcc tier-1 recipe
+# stays runnable on lean machines. CI provides a suitable clang-tidy, which
+# makes the pass enforcing there. WarningsAsErrors is '*' in .clang-tidy —
+# any finding is a hard failure; fix it or NOLINT it with a justification
+# (policy: docs/ANALYSIS.md §4).
+#
+#   ./scripts/run_clang_tidy.sh [build-dir]   # default: build-tidy
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_MAJOR=14
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found — skipping (enforced in CI)"
+  exit 0
+fi
+major="$(clang-tidy --version | sed -n 's/.*version \([0-9]*\).*/\1/p' | head -1)"
+if [[ -z "$major" || "$major" -lt "$MIN_MAJOR" ]]; then
+  echo "run_clang_tidy: clang-tidy ${major:-?} < $MIN_MAJOR — skipping (enforced in CI)"
+  exit 0
+fi
+
+BUILD_DIR="${1:-build-tidy}"
+# A dedicated configure keeps the compile database stable regardless of
+# which sanitizer/tool legs ran before; tests/examples/benches are out of
+# tidy scope (the profile targets the 9 library modules).
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DZZ_BUILD_TESTS=OFF -DZZ_BUILD_EXAMPLES=OFF \
+    -DZZ_BUILD_BENCH=OFF >/dev/null
+fi
+
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+echo "run_clang_tidy: clang-tidy $major over ${#sources[@]} src/ files"
+fail=0
+for f in "${sources[@]}"; do
+  clang-tidy -p "$BUILD_DIR" --quiet "$f" || fail=1
+done
+if [[ "$fail" -ne 0 ]]; then
+  echo "run_clang_tidy: FAILED"
+  exit 1
+fi
+echo "run_clang_tidy: clean"

@@ -1,0 +1,54 @@
+// Annotated mutex wrappers for clang -Wthread-safety (docs/ANALYSIS.md §3).
+//
+// libstdc++'s std::mutex has no capability attributes, so locking it
+// directly is invisible to the analysis. zz::Mutex is a zero-overhead
+// std::mutex wrapper that carries them; zz::MutexLock is the RAII guard.
+// Condition-variable waits go through the native handles (`native()`),
+// which the wait re-acquires before returning — annotated call sites keep
+// the capability across the wait, which matches what the analysis assumes.
+#pragma once
+
+#include <mutex>
+
+#include "zz/common/thread_annotations.h"
+
+namespace zz {
+
+class ZZ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ZZ_ACQUIRE() { m_.lock(); }
+  void unlock() ZZ_RELEASE() { m_.unlock(); }
+
+  /// Underlying std::mutex, for std::condition_variable waits only. The
+  /// caller must already hold this Mutex (via MutexLock::native()).
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over zz::Mutex; the scoped-capability shape clang's analysis
+/// tracks across the guarded region.
+class ZZ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ZZ_ACQUIRE(mu) : lk_(mu.native()) {}
+  ~MutexLock() ZZ_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Native handle for std::condition_variable::wait. wait() unlocks and
+  /// re-acquires before returning, so the capability is held whenever
+  /// annotated code runs — the transient release is invisible by design
+  /// (same contract as abseil's CondVar-on-Mutex).
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+}  // namespace zz

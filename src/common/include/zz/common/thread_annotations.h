@@ -1,0 +1,57 @@
+// Clang thread-safety-analysis annotations (docs/ANALYSIS.md §3).
+//
+// These macros expand to clang's `-Wthread-safety` capability attributes
+// when the analysis is available and to nothing everywhere else, so the
+// annotated contracts compile identically under gcc. The vocabulary is the
+// standard one (see the clang ThreadSafetyAnalysis documentation and the
+// abseil `thread_annotations.h` idiom): data members state which capability
+// guards them, functions state which capabilities they acquire, release or
+// require. `ci.sh --sanitize` compiles the tree with
+// `-DZZ_THREAD_SAFETY=ON` under clang, turning every violated contract into
+// a build error.
+//
+// The analysis only understands capabilities it can see, and libstdc++'s
+// std::mutex carries no attributes — lock through zz::Mutex / zz::MutexLock
+// (zz/common/mutex.h) instead of std::mutex directly in annotated code.
+#pragma once
+
+#if defined(__clang__)
+#define ZZ_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define ZZ_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Class attribute: instances of this type are lockable capabilities.
+#define ZZ_CAPABILITY(x) ZZ_THREAD_ANNOTATION__(capability(x))
+
+/// Class attribute: RAII type that holds a capability for its lifetime.
+#define ZZ_SCOPED_CAPABILITY ZZ_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Member attribute: reads/writes require holding `x`.
+#define ZZ_GUARDED_BY(x) ZZ_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Member attribute: the pointee (not the pointer) is guarded by `x`.
+#define ZZ_PT_GUARDED_BY(x) ZZ_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the listed capabilities.
+#define ZZ_REQUIRES(...) \
+  ZZ_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the listed capabilities.
+#define ZZ_EXCLUDES(...) ZZ_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: acquires the listed capabilities (or `this` if none).
+#define ZZ_ACQUIRE(...) \
+  ZZ_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: releases the listed capabilities (or `this` if none).
+#define ZZ_RELEASE(...) \
+  ZZ_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the named capability.
+#define ZZ_RETURN_CAPABILITY(x) ZZ_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Function attribute: opt this function out of the analysis. Every use
+/// must carry a comment saying why the analysis cannot see the invariant.
+#define ZZ_NO_THREAD_SAFETY_ANALYSIS \
+  ZZ_THREAD_ANNOTATION__(no_thread_safety_analysis)

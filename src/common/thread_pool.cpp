@@ -3,9 +3,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "zz/common/mutex.h"
+#include "zz/common/thread_annotations.h"
 
 namespace zz {
 
@@ -19,24 +21,27 @@ std::uint64_t shard_seed(std::uint64_t base, std::uint64_t index) {
 }
 
 struct ThreadPool::Impl {
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable work_cv;   ///< workers wait here for a batch
   std::condition_variable done_cv;   ///< parallel_for waits here for drain
-  const std::function<void(std::size_t)>* fn = nullptr;
-  std::size_t batch_n = 0;
+  const std::function<void(std::size_t)>* fn ZZ_GUARDED_BY(mu) = nullptr;
+  std::size_t batch_n ZZ_GUARDED_BY(mu) = 0;
   /// Claim ticket packing (generation << 32) | next_index. Claims go
   /// through a CAS that re-checks the generation, so a worker lingering
   /// from a drained batch can never claim (and silently consume) an index
   /// of the NEXT batch — it observes the bumped generation and exits.
   std::atomic<std::uint64_t> ticket{0};
-  std::size_t in_flight = 0;         ///< tasks claimed but not finished
-  std::uint32_t generation = 0;
-  bool stop = false;
-  std::exception_ptr error;
+  std::size_t in_flight ZZ_GUARDED_BY(mu) = 0;  ///< claimed, not finished
+  std::uint32_t generation ZZ_GUARDED_BY(mu) = 0;
+  bool stop ZZ_GUARDED_BY(mu) = false;
+  std::exception_ptr error ZZ_GUARDED_BY(mu);
+  /// Written by the constructor before any worker runs and joined by the
+  /// destructor after all have exited — confined to the owning thread, so
+  /// deliberately not guarded by mu.
   std::vector<std::thread> workers;
 
   void run_tasks(const std::function<void(std::size_t)>& f, std::size_t n,
-                 std::uint32_t gen) {
+                 std::uint32_t gen) ZZ_EXCLUDES(mu) {
     for (;;) {
       std::uint64_t t = ticket.load();
       if (static_cast<std::uint32_t>(t >> 32) != gen) break;  // superseded
@@ -46,26 +51,30 @@ struct ThreadPool::Impl {
       try {
         f(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (!error) error = std::current_exception();
       }
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         --in_flight;
         if (in_flight == 0) done_cv.notify_all();
       }
     }
   }
 
-  void worker() {
+  void worker() ZZ_EXCLUDES(mu) {
     std::uint32_t seen = 0;
     for (;;) {
       const std::function<void(std::size_t)>* f;
       std::size_t n;
       std::uint32_t gen;
       {
-        std::unique_lock<std::mutex> lock(mu);
-        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        MutexLock lock(mu);
+        // Explicit wait loop (not the predicate overload): the predicate
+        // lambda would be a separate function the thread-safety analysis
+        // cannot see holding mu. wait() re-acquires before returning, so
+        // the guarded reads below stay under the capability.
+        while (!stop && generation == seen) work_cv.wait(lock.native());
         if (stop) return;
         seen = generation;
         gen = generation;
@@ -89,7 +98,7 @@ ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->stop = true;
   }
   impl_->work_cv.notify_all();
@@ -106,7 +115,7 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   std::uint32_t gen;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->fn = &fn;
     impl_->batch_n = n;
     impl_->in_flight = n;
@@ -117,8 +126,8 @@ void ThreadPool::parallel_for(std::size_t n,
   impl_->work_cv.notify_all();
   impl_->run_tasks(fn, n, gen);  // the caller helps drain the batch
   {
-    std::unique_lock<std::mutex> lock(impl_->mu);
-    impl_->done_cv.wait(lock, [&] { return impl_->in_flight == 0; });
+    MutexLock lock(impl_->mu);
+    while (impl_->in_flight != 0) impl_->done_cv.wait(lock.native());
     impl_->fn = nullptr;
     if (impl_->error) std::rethrow_exception(impl_->error);
   }

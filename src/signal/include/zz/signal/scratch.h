@@ -9,13 +9,26 @@
 // Discipline: slots are owner-scoped. Each object that embeds an arena
 // assigns fixed slot numbers to its own call sites (an enum works well);
 // two call sites may share a slot only when their lifetimes never overlap.
-// Arenas are NOT thread-safe — give each thread (or each engine object)
-// its own.
+//
+// Thread contract (docs/ANALYSIS.md §3): arenas are NOT thread-safe — give
+// each thread (or each engine object) its own. Serial hand-off between
+// threads is fine (the pool runs one task at a time per engine); what is
+// forbidden is two threads inside an arena at once. Sanitizer builds
+// (ZZ_DEBUG_THREAD_CHECKS, set by the ZZ_SANITIZE configs) compile in a
+// concurrent-entry detector that aborts with a diagnostic on violation —
+// the machine check backing the contract, since there is no lock for
+// clang's thread-safety analysis to see.
 #pragma once
 
 #include <cstddef>
 #include <deque>
 #include <vector>
+
+#ifdef ZZ_DEBUG_THREAD_CHECKS
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#endif
 
 #include "zz/common/types.h"
 
@@ -26,6 +39,7 @@ class ScratchArena {
   /// Complex buffer for `slot`, resized to n. Contents are stale — callers
   /// that need zeros should use czero().
   CVec& cvec(std::size_t slot, std::size_t n) {
+    [[maybe_unused]] const ConfinementGuard guard(*this);
     while (c_.size() <= slot) c_.emplace_back();
     c_[slot].resize(n);
     return c_[slot];
@@ -33,6 +47,7 @@ class ScratchArena {
 
   /// Complex buffer for `slot`, resized to n and zero-filled.
   CVec& czero(std::size_t slot, std::size_t n) {
+    [[maybe_unused]] const ConfinementGuard guard(*this);
     while (c_.size() <= slot) c_.emplace_back();
     c_[slot].assign(n, cplx{0.0, 0.0});
     return c_[slot];
@@ -40,6 +55,7 @@ class ScratchArena {
 
   /// Real buffer for `slot`, resized to n (contents stale).
   std::vector<double>& dvec(std::size_t slot, std::size_t n) {
+    [[maybe_unused]] const ConfinementGuard guard(*this);
     while (d_.size() <= slot) d_.emplace_back();
     d_[slot].resize(n);
     return d_[slot];
@@ -47,11 +63,35 @@ class ScratchArena {
 
   /// Release all held capacity.
   void release() {
+    [[maybe_unused]] const ConfinementGuard guard(*this);
     c_.clear();
     d_.clear();
   }
 
  private:
+#ifdef ZZ_DEBUG_THREAD_CHECKS
+  /// Aborts when two threads are inside the arena at once. Entry/exit are
+  /// relaxed atomics: the detector must not introduce the synchronization
+  /// whose absence it exists to expose (it is TSan-neutral).
+  struct ConfinementGuard {
+    explicit ConfinementGuard(ScratchArena& a) : a_(a) {
+      if (a_.active_.fetch_add(1, std::memory_order_relaxed) != 0) {
+        std::fprintf(stderr,
+                     "ScratchArena: concurrent access from two threads — "
+                     "arenas are thread-confined (see zz/signal/scratch.h)\n");
+        std::abort();
+      }
+    }
+    ~ConfinementGuard() { a_.active_.fetch_sub(1, std::memory_order_relaxed); }
+    ScratchArena& a_;
+  };
+  std::atomic<int> active_{0};
+#else
+  struct ConfinementGuard {
+    explicit ConfinementGuard(ScratchArena&) {}
+  };
+#endif
+
   // Deques so a reference handed out for one slot survives another slot
   // being materialized while it is still in use.
   std::deque<CVec> c_;

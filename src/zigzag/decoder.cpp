@@ -9,6 +9,8 @@
 
 #include "zz/chan/channel.h"
 #include "zz/common/mathutil.h"
+#include "zz/common/mutex.h"
+#include "zz/common/thread_annotations.h"
 #include "zz/phy/preamble.h"
 #include "zz/phy/scrambler.h"
 #include "zz/phy/tracker.h"
@@ -27,22 +29,42 @@ struct DecodeCache::Impl {
     double noise_var_out = 0.0;
     bool noise_seeded_out = false;
   };
-  std::unordered_map<std::uint64_t, Entry> map;
-  std::size_t hits = 0;
-  std::size_t misses = 0;
+  // Concurrency contract (docs/ANALYSIS.md §3, pinned by
+  // DecodeCacheStress.*): the cache is internally synchronized so decoder
+  // engines on different threads can share one instance — the shared-cache
+  // design the AP-farm scale-out is written against. mu guards the map and
+  // the counters; entries are immutable once published (first writer wins
+  // on a double miss), so a reference handed out under the lock stays
+  // valid and race-free afterwards — std::unordered_map never moves
+  // elements on insert/rehash, and nothing erases entries while decoders
+  // run (clear() requires external quiescence).
+  mutable Mutex mu;
+  std::unordered_map<std::uint64_t, Entry> map ZZ_GUARDED_BY(mu);
+  std::size_t hits ZZ_GUARDED_BY(mu) = 0;
+  std::size_t misses ZZ_GUARDED_BY(mu) = 0;
 };
 
 DecodeCache::DecodeCache() : impl_(std::make_unique<Impl>()) {}
 DecodeCache::~DecodeCache() = default;
 
 void DecodeCache::clear() {
+  MutexLock lock(impl_->mu);
   impl_->map.clear();
   impl_->hits = 0;
   impl_->misses = 0;
 }
-std::size_t DecodeCache::size() const { return impl_->map.size(); }
-std::size_t DecodeCache::hits() const { return impl_->hits; }
-std::size_t DecodeCache::misses() const { return impl_->misses; }
+std::size_t DecodeCache::size() const {
+  MutexLock lock(impl_->mu);
+  return impl_->map.size();
+}
+std::size_t DecodeCache::hits() const {
+  MutexLock lock(impl_->mu);
+  return impl_->hits;
+}
+std::size_t DecodeCache::misses() const {
+  MutexLock lock(impl_->mu);
+  return impl_->misses;
+}
 
 /// Engine-side access to the cache internals (the engine lives in an
 /// anonymous namespace below and cannot be befriended directly).
@@ -735,20 +757,37 @@ class Engine {
     fp.u64(dec_.interp_half_width());
 
     auto& impl = DecodeCacheAccess::impl(*cache_);
-    const auto it = impl.map.find(fp.a);
-    if (it != impl.map.end() && it->second.check == fp.b) {
-      ++impl.hits;
-      est.params = it->second.params_out;
-      est.noise_var = it->second.noise_var_out;
-      est.noise_seeded = it->second.noise_seeded_out;
-      return it->second.res;
+    {
+      MutexLock lock(impl.mu);
+      const auto it = impl.map.find(fp.a);
+      if (it != impl.map.end() && it->second.check == fp.b) {
+        ++impl.hits;
+        est.params = it->second.params_out;
+        est.noise_var = it->second.noise_var_out;
+        est.noise_seeded = it->second.noise_seeded_out;
+        return it->second.res;
+      }
+      ++impl.misses;
     }
-    ++impl.misses;
-    // Decode BEFORE touching the map: populating the entry first would
-    // leave a poisoned (empty-result) entry behind if the decode threw,
-    // and a later identical lookup would silently replay it.
+    // Decode OUTSIDE the lock — concurrent engines sharing a cache must
+    // not serialize on each other's chunk decodes — and BEFORE touching
+    // the map: populating the entry first would leave a poisoned
+    // (empty-result) entry behind if the decode threw, and a later
+    // identical lookup would silently replay it.
     auto res = dec_.decode(view, origin, k0, k1, specs, est, backward);
-    auto& entry = impl.map[fp.a];
+    MutexLock lock(impl.mu);
+    const auto [it, inserted] = impl.map.try_emplace(fp.a);
+    auto& entry = it->second;
+    if (!inserted && entry.check == fp.b) {
+      // Another engine raced us to the same fingerprint. Identical inputs
+      // give identical outputs, so adopt the published entry (references
+      // to it may already be live — entries are immutable once visible)
+      // and drop our copy.
+      est.params = entry.params_out;
+      est.noise_var = entry.noise_var_out;
+      est.noise_seeded = entry.noise_seeded_out;
+      return entry.res;
+    }
     entry.check = fp.b;
     entry.res = std::move(res);
     entry.params_out = est.params;

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "zz/chan/channel.h"
 #include "zz/common/mathutil.h"
@@ -784,6 +786,84 @@ TEST(Decoder, CachedDecodeMatchesUncached) {
     const auto without = dec.decode({inputs, 2}, s.profiles, 2);
     expect_identical_results(with_cache, without);
   }
+}
+
+TEST(DecodeCacheStress, ConcurrentSharedCacheIsRaceFreeAndBitIdentical) {
+  // The thread-safety contract the AP-farm scale-out assumes (ISSUE 6,
+  // docs/ANALYSIS.md §3): one DecodeCache shared by decoder engines on
+  // MANY threads, with no external locking. Threads repeatedly decode the
+  // same scenarios, so they contend on the same fingerprints — the
+  // double-miss insert race, hit-path reads of published entries and the
+  // counters all get exercised. Run under TSan this is the mechanical
+  // proof; in the plain config it still pins bit-identity under contention.
+  constexpr std::size_t kScenarios = 3;
+  constexpr std::size_t kThreads = 4;
+  constexpr int kRounds = 2;
+
+  struct Case {
+    PairScenario s;
+    std::vector<CollisionInput> inputs;
+    DecodeResult reference;
+  };
+  std::vector<Case> cases(kScenarios);
+  const ZigZagDecoder dec;
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    Rng rng(9100 + i);
+    Case& c = cases[i];
+    c.s = make_pair_scenario(rng, 150 + 20 * i, 10.0,
+                             200 + 60 * static_cast<std::ptrdiff_t>(i),
+                             600 + 40 * static_cast<std::ptrdiff_t>(i));
+    // The scenario's own CollisionInputs point at the factory temporary's
+    // sample buffers; re-point them at the case's final location.
+    c.inputs = {c.s.in1, c.s.in2};
+    c.inputs[0].samples = &c.s.c1.samples;
+    c.inputs[1].samples = &c.s.c2.samples;
+    c.reference = dec.decode({c.inputs.data(), 2}, c.s.profiles, 2);
+  }
+
+  DecodeCache cache;
+  std::vector<DecodeResult> results(kThreads * kScenarios * kRounds);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread owns its decoder (engines are per-call anyway); ONLY
+      // the cache is shared.
+      const ZigZagDecoder local;
+      for (int r = 0; r < kRounds; ++r)
+        for (std::size_t i = 0; i < kScenarios; ++i)
+          results[(t * kRounds + static_cast<std::size_t>(r)) * kScenarios +
+                  i] =
+              local.decode({cases[i].inputs.data(), 2}, cases[i].s.profiles, 2,
+                           &cache);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t)
+    for (int r = 0; r < kRounds; ++r)
+      for (std::size_t i = 0; i < kScenarios; ++i)
+        expect_identical_results(
+            results[(t * kRounds + static_cast<std::size_t>(r)) * kScenarios +
+                    i],
+            cases[i].reference);
+
+  // Counter sanity: every stored entry came from a miss (racing misses may
+  // discard their copy, so misses >= size), and the contended rounds must
+  // have produced real sharing.
+  EXPECT_GE(cache.misses(), cache.size());
+  EXPECT_GT(cache.size(), 0u);
+  EXPECT_GT(cache.hits(), 0u);
+
+  // After the stampede the cache is fully warm: a repeat decode of every
+  // scenario must not miss once.
+  const std::size_t misses_before = cache.misses();
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    const auto replay =
+        dec.decode({cases[i].inputs.data(), 2}, cases[i].s.profiles, 2, &cache);
+    expect_identical_results(replay, cases[i].reference);
+  }
+  EXPECT_EQ(cache.misses(), misses_before);
 }
 
 TEST(Decoder, QpskCollisionsDecode) {

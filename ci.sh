@@ -9,6 +9,8 @@
 #                            #   suitable clang is installed (version-guarded)
 #   ./ci.sh --sanitize=asan  # one sanitizer leg only (CI matrix jobs)
 #   ./ci.sh --sanitize=tsan
+#   ./ci.sh --coverage       # instrumented build + ctest + per-module line
+#                            #   coverage floors (scripts/coverage_floors.txt)
 #   ZZ_KEEP_BUILD=1 ./ci.sh  # reuse existing build directories
 #
 # The PLAIN run stays authoritative for the bench drift gate: sanitizer legs
@@ -24,7 +26,8 @@ case "${1:-}" in
   --sanitize) MODE="matrix" ;;
   --sanitize=asan) MODE="asan" ;;
   --sanitize=tsan) MODE="tsan" ;;
-  *) echo "usage: $0 [--sanitize | --sanitize=asan | --sanitize=tsan]" >&2
+  --coverage) MODE="coverage" ;;
+  *) echo "usage: $0 [--sanitize | --sanitize=asan | --sanitize=tsan | --coverage]" >&2
      exit 2 ;;
 esac
 
@@ -97,6 +100,26 @@ run_clang_static() {
   ./scripts/run_clang_tidy.sh || exit 1
 }
 
+# --- coverage leg: instrumented tests + per-module line-coverage floors --
+# The test suite (not the benches) defines covered; benches/examples are
+# skipped — at -O0 with instrumentation they are slow and their coverage
+# is the same decode paths the tests already pin. Floors ratchet: pinned
+# at last-measured minus 2 points, only ever raised (docs/ANALYSIS.md §9).
+if [[ "$MODE" == "coverage" ]]; then
+  build_dir="build-cov"
+  if [[ -z "${ZZ_KEEP_BUILD:-}" ]]; then
+    rm -rf "$build_dir"
+  fi
+  cmake -B "$build_dir" -S . -DZZ_COVERAGE=ON \
+    -DZZ_BUILD_BENCH=OFF -DZZ_BUILD_EXAMPLES=OFF
+  cmake --build "$build_dir" -j "$(nproc)"
+  (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+  python3 scripts/coverage_report.py "$build_dir" \
+    --floors scripts/coverage_floors.txt
+  echo "ci.sh: coverage leg green ($build_dir)"
+  exit 0
+fi
+
 if [[ "$MODE" == "asan" || "$MODE" == "tsan" ]]; then
   run_sanitizer_leg "$MODE"
   exit 0
@@ -157,6 +180,9 @@ for b in $benches; do
     docs_fail=1
   }
 done
+# Selftest first: prove every lint rule can fire before trusting its
+# "clean" (a gate that cannot fail is not a gate), then lint the tree.
+./scripts/lint_conventions.sh --selftest || docs_fail=1
 ./scripts/lint_conventions.sh || docs_fail=1
 if [[ "$docs_fail" -ne 0 ]]; then
   echo "ci.sh: docs-consistency check FAILED"

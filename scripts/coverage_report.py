@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Per-module line-coverage report + ratchet gate (ci.sh --coverage).
+
+Walks a ZZ_COVERAGE build tree for .gcda note/data pairs, asks gcov for
+JSON (`gcov --json-format --stdout`), folds the per-TU line records into
+one covered/instrumented set per source file (a line counts as covered if
+ANY test TU executed it), aggregates files into their src/<module>, and
+enforces the per-module floors in scripts/coverage_floors.txt.
+
+Ratchet rule (docs/ANALYSIS.md §9): floors sit 2 points under the last
+measured value. When a module's coverage rises, raise its floor to the new
+measurement minus 2 in the same PR; floors only move up. A module below
+its floor fails the gate — write tests, don't lower the number.
+
+Usage:
+  scripts/coverage_report.py BUILD_DIR [--floors scripts/coverage_floors.txt]
+                             [--gcov gcov]
+Exit: 0 when every module meets its floor, 1 otherwise.
+"""
+
+import argparse
+import collections
+import json
+import os
+import re
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for dirpath, _dirnames, filenames in os.walk(build_dir):
+        for name in filenames:
+            if name.endswith(".gcda"):
+                yield os.path.join(dirpath, name)
+
+
+def gcov_json(gcov, gcda):
+    """All file records gcov emits for one .gcda (may be several TUs)."""
+    proc = subprocess.run(
+        [gcov, "--json-format", "--stdout", gcda],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{gcov} failed on {gcda}: {proc.stderr.strip() or proc.stdout.strip()}"
+        )
+    records = []
+    # One JSON document per line with --stdout; be tolerant of both shapes.
+    for chunk in proc.stdout.splitlines():
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        records.append(json.loads(chunk))
+    return records
+
+
+def module_of(path):
+    """src/<module>/... -> <module>, else None (tests/bench/system)."""
+    m = re.search(r"(?:^|/)src/([^/]+)/", path)
+    return m.group(1) if m else None
+
+
+def load_floors(path):
+    floors = {}
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            name, pct = line.split()
+            floors[name] = float(pct)
+    return floors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("build_dir")
+    ap.add_argument("--floors", default="scripts/coverage_floors.txt")
+    ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    args = ap.parse_args()
+
+    gcda_files = sorted(find_gcda(args.build_dir))
+    if not gcda_files:
+        print(
+            f"coverage_report: no .gcda under {args.build_dir} — "
+            "build with -DZZ_COVERAGE=ON and run ctest first",
+            file=sys.stderr,
+        )
+        return 1
+
+    # file -> line -> max hit count across all TUs that instrument the line
+    hits = collections.defaultdict(dict)
+    for gcda in gcda_files:
+        for record in gcov_json(args.gcov, gcda):
+            for frec in record.get("files", []):
+                path = frec["file"]
+                if module_of(path) is None:
+                    continue
+                lines = hits[path]
+                for lrec in frec.get("lines", []):
+                    n = lrec["line_number"]
+                    lines[n] = max(lines.get(n, 0), lrec["count"])
+
+    per_module = collections.defaultdict(lambda: [0, 0])  # covered, total
+    for path, lines in hits.items():
+        mod = module_of(path)
+        per_module[mod][0] += sum(1 for c in lines.values() if c > 0)
+        per_module[mod][1] += len(lines)
+
+    floors = load_floors(args.floors)
+    fail = 0
+    print(f"{'module':<10} {'lines':>7} {'covered':>8} {'pct':>7} {'floor':>7}")
+    for mod in sorted(set(per_module) | set(floors)):
+        covered, total = per_module.get(mod, (0, 0))
+        if total == 0:
+            print(f"coverage_report: module '{mod}' has a floor but no "
+                  "instrumented lines — stale floors file?")
+            fail = 1
+            continue
+        pct = 100.0 * covered / total
+        floor = floors.get(mod)
+        mark = ""
+        if floor is None:
+            # New module with no floor yet: report, then demand a pin so the
+            # ratchet cannot silently skip it.
+            mark = "  (no floor pinned — add one at measured-2)"
+            fail = 1
+        elif pct < floor:
+            mark = "  BELOW FLOOR"
+            fail = 1
+        print(f"{mod:<10} {total:>7} {covered:>8} {pct:>6.1f}% "
+              f"{floor if floor is not None else 0.0:>6.1f}%{mark}")
+    if fail:
+        print("coverage_report: FAILED (see ratchet rule in docs/ANALYSIS.md §9)")
+        return 1
+    print("coverage_report: all modules at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+#include "zz/common/check.h"
+
+#include <cstdio>
+
+namespace zz::internal {
+
+// Out of line so the abort machinery (and <cstdio>) stays off the check
+// fast path and out of every including TU.
+CheckFailure::~CheckFailure() {
+  const std::string msg = os_.str();
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace zz::internal

@@ -1,0 +1,166 @@
+// Runtime contracts — the dynamic half of the domain-invariant analysis
+// layer (docs/ANALYSIS.md §7; the static half is the zz-* clang-tidy plugin
+// under tools/tidy/).
+//
+//   ZZ_CHECK(cond) << "context " << value;   // always on, fatal
+//   ZZ_CHECK_EQ(a, b);                       // prints both operands
+//   ZZ_DCHECK_LT(i, n);                      // debug-only (see below)
+//
+// Semantics:
+//   * A failed check prints `file:line: ZZ_CHECK(expr)` plus the streamed
+//     message to stderr and aborts — a contract violation is a wrong
+//     program, not a recoverable condition. Recoverable/user-input errors
+//     keep using exceptions (e.g. ZigZagDecoder's invalid_argument).
+//   * Message formatting is lazy: nothing right of `<<` is evaluated — and
+//     no stream is constructed — unless the condition already failed, so a
+//     passing ZZ_CHECK costs one predictable branch.
+//   * ZZ_DCHECK* compile to nothing (arguments unevaluated, but still
+//     type-checked) unless ZZ_ENABLE_DCHECKS is defined. The build defines
+//     it for Debug and sanitizer configurations and `-DZZ_DCHECKS=ON`
+//     forces it anywhere; plain Release — the configuration that runs the
+//     drift-gated benches — compiles them out, which is what lets DCHECKs
+//     sit inside per-symbol loops without perturbing baselines.
+//
+// The comparison forms evaluate each operand exactly once and stream both
+// values into the failure report, so `ZZ_CHECK_EQ(got, want)` failures are
+// diagnosable from CI logs without a debugger.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ZZ_PREDICT_TRUE(x) (__builtin_expect(static_cast<bool>(x), true))
+#else
+#define ZZ_PREDICT_TRUE(x) (static_cast<bool>(x))
+#endif
+
+namespace zz::internal {
+
+/// Failure sink: collects the streamed message, then prints and aborts in
+/// the destructor (end of the full check expression). Only ever constructed
+/// on the failure path.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* what) {
+    os_ << file << ":" << line << ": " << what;
+  }
+  /// Comparison-form failure: operands already rendered by check_op_fail.
+  CheckFailure(const char* file, int line, const std::string& what) {
+    os_ << file << ":" << line << ": " << what;
+  }
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  ~CheckFailure();  // prints and aborts; defined in check.cpp
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// `operator&` binds looser than `<<` and tighter than `?:`, so
+/// `cond ? (void)0 : Voidify() & failure.stream() << a << b` swallows the
+/// whole streamed chain into one void-typed conditional branch.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Renders a failed comparison (`expr (lhs vs. rhs)`) on the cold path.
+/// Returns a heap string so the fast path stays a bare compare-and-branch;
+/// ownership passes to the CheckFailure via the macro below.
+template <typename A, typename B>
+std::string* check_op_fail(const char* expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << expr << " (" << a << " vs. " << b << ")";
+  return new std::string(os.str());
+}
+
+// One compare-and-render function per operator, so each macro operand is
+// evaluated exactly once (as the function argument). Returns nullptr on
+// success, the rendered message on failure.
+#define ZZ_DEFINE_CHECK_OP_IMPL(op_name, op)                          \
+  template <typename A, typename B>                                   \
+  inline std::string* check_##op_name##_impl(const A& a, const B& b, \
+                                             const char* expr) {      \
+    if (ZZ_PREDICT_TRUE(a op b)) return nullptr;                      \
+    return check_op_fail(expr, a, b);                                 \
+  }
+ZZ_DEFINE_CHECK_OP_IMPL(eq, ==)
+ZZ_DEFINE_CHECK_OP_IMPL(ne, !=)
+ZZ_DEFINE_CHECK_OP_IMPL(lt, <)
+ZZ_DEFINE_CHECK_OP_IMPL(le, <=)
+ZZ_DEFINE_CHECK_OP_IMPL(gt, >)
+ZZ_DEFINE_CHECK_OP_IMPL(ge, >=)
+#undef ZZ_DEFINE_CHECK_OP_IMPL
+
+/// Holds the rendered comparison message across the macro's `while` scope.
+class OwnedMessage {
+ public:
+  explicit OwnedMessage(std::string* s) : s_(s) {}
+  ~OwnedMessage() { delete s_; }
+  OwnedMessage(const OwnedMessage&) = delete;
+  OwnedMessage& operator=(const OwnedMessage&) = delete;
+  const std::string& str() const { return *s_; }
+  explicit operator bool() const { return s_ != nullptr; }
+
+ private:
+  std::string* s_;
+};
+
+}  // namespace zz::internal
+
+/// Always-on fatal contract. Supports `ZZ_CHECK(cond) << "detail" << v;`.
+#define ZZ_CHECK(cond)                                             \
+  ZZ_PREDICT_TRUE(cond)                                            \
+  ? (void)0                                                        \
+  : ::zz::internal::Voidify() &                                    \
+        ::zz::internal::CheckFailure(__FILE__, __LINE__,           \
+                                     "ZZ_CHECK(" #cond ") failed") \
+            .stream()
+
+// Comparison forms: each operand is evaluated exactly once, as an argument
+// of check_<op>_impl (which compares on the fast path and renders both
+// values on failure). The `while` runs at most once — CheckFailure's
+// destructor aborts — and exists so the macro both scopes the rendered
+// message and accepts a trailing streamed message, without a dangling-else
+// hazard.
+#define ZZ_CHECK_OP(op_name, impl, a, b)                             \
+  while (::zz::internal::OwnedMessage zz_msg{::zz::internal::impl(   \
+      (a), (b), "ZZ_CHECK_" #op_name "(" #a ", " #b ") failed")})    \
+  ::zz::internal::CheckFailure(__FILE__, __LINE__, zz_msg.str()).stream()
+
+#define ZZ_CHECK_EQ(a, b) ZZ_CHECK_OP(EQ, check_eq_impl, a, b)
+#define ZZ_CHECK_NE(a, b) ZZ_CHECK_OP(NE, check_ne_impl, a, b)
+#define ZZ_CHECK_LT(a, b) ZZ_CHECK_OP(LT, check_lt_impl, a, b)
+#define ZZ_CHECK_LE(a, b) ZZ_CHECK_OP(LE, check_le_impl, a, b)
+#define ZZ_CHECK_GT(a, b) ZZ_CHECK_OP(GT, check_gt_impl, a, b)
+#define ZZ_CHECK_GE(a, b) ZZ_CHECK_OP(GE, check_ge_impl, a, b)
+
+// Debug contracts: full checks when ZZ_ENABLE_DCHECKS is defined, otherwise
+// a dead `while (false)` whose condition and message still type-check but
+// never execute — safe inside the decoder's per-symbol loops.
+#ifdef ZZ_ENABLE_DCHECKS
+#define ZZ_DCHECK(cond) ZZ_CHECK(cond)
+#define ZZ_DCHECK_EQ(a, b) ZZ_CHECK_EQ(a, b)
+#define ZZ_DCHECK_NE(a, b) ZZ_CHECK_NE(a, b)
+#define ZZ_DCHECK_LT(a, b) ZZ_CHECK_LT(a, b)
+#define ZZ_DCHECK_LE(a, b) ZZ_CHECK_LE(a, b)
+#define ZZ_DCHECK_GT(a, b) ZZ_CHECK_GT(a, b)
+#define ZZ_DCHECK_GE(a, b) ZZ_CHECK_GE(a, b)
+#else
+#define ZZ_DCHECK(cond) \
+  while (false) ZZ_CHECK(cond)
+#define ZZ_DCHECK_EQ(a, b) \
+  while (false) ZZ_CHECK_EQ(a, b)
+#define ZZ_DCHECK_NE(a, b) \
+  while (false) ZZ_CHECK_NE(a, b)
+#define ZZ_DCHECK_LT(a, b) \
+  while (false) ZZ_CHECK_LT(a, b)
+#define ZZ_DCHECK_LE(a, b) \
+  while (false) ZZ_CHECK_LE(a, b)
+#define ZZ_DCHECK_GT(a, b) \
+  while (false) ZZ_CHECK_GT(a, b)
+#define ZZ_DCHECK_GE(a, b) \
+  while (false) ZZ_CHECK_GE(a, b)
+#endif

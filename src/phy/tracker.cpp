@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "zz/common/check.h"
 #include "zz/common/mathutil.h"
 
 namespace zz::phy {
@@ -13,7 +14,13 @@ ChunkDecoder::ChunkDecoder(TrackingGains gains, std::size_t interp_half_width,
     : gains_(gains),
       hw_(interp_half_width),
       block_interp_(block_interp),
-      interp_(interp_half_width) {}
+      interp_(interp_half_width) {
+  // decode() partitions chunks into gains_.block-sized tracking blocks; a
+  // zero block size would divide by zero there, and interpolation needs at
+  // least one tap on each side of the sample.
+  ZZ_CHECK_GT(gains_.block, 0u);
+  ZZ_CHECK_GT(hw_, 0u);
+}
 
 cplx ChunkDecoder::raw_symbol(const CVec& buf, std::ptrdiff_t origin, double k,
                               const LinkEstimate& est) const {
@@ -32,6 +39,7 @@ cplx ChunkDecoder::raw_symbol(const CVec& buf, std::ptrdiff_t origin, double k,
 void ChunkDecoder::raw_block(const CVec& buf, std::ptrdiff_t origin,
                              std::ptrdiff_t m0, std::ptrdiff_t m1,
                              const LinkEstimate& est, CVec& z) const {
+  ZZ_DCHECK_LE(m0, m1);  // a reversed range would wrap the size below
   const auto n = static_cast<std::size_t>(m1 - m0);
   z.resize(n);
   if (!block_interp_) {
@@ -106,6 +114,7 @@ ChunkDecoder::Result ChunkDecoder::decode(const CVec& buf,
     const std::size_t b = backward ? nblocks - 1 - bi : bi;
     const std::size_t bk0 = k0 + b * gains_.block;
     const std::size_t bk1 = std::min(k1, bk0 + gains_.block);
+    ZZ_DCHECK_LT(bk0, bk1);  // nblocks covers [k0, k1) with no empty block
     const std::size_t bn = bk1 - bk0;
 
     // Two passes: measure errors with the current estimate, correct, and

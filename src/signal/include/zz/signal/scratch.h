@@ -30,15 +30,22 @@
 #include <cstdlib>
 #endif
 
+#include "zz/common/check.h"
 #include "zz/common/types.h"
 
 namespace zz::sig {
 
 class ScratchArena {
  public:
+  /// Slots are small dense owner-assigned enum values. `slot` and `n` share
+  /// a type, so swapping the arguments compiles; a slot this large is a
+  /// buffer length standing where the slot index should be.
+  static constexpr std::size_t kMaxSlots = 256;
+
   /// Complex buffer for `slot`, resized to n. Contents are stale — callers
   /// that need zeros should use czero().
   CVec& cvec(std::size_t slot, std::size_t n) {
+    ZZ_DCHECK_LT(slot, kMaxSlots);
     [[maybe_unused]] const ConfinementGuard guard(*this);
     while (c_.size() <= slot) c_.emplace_back();
     c_[slot].resize(n);
@@ -47,6 +54,7 @@ class ScratchArena {
 
   /// Complex buffer for `slot`, resized to n and zero-filled.
   CVec& czero(std::size_t slot, std::size_t n) {
+    ZZ_DCHECK_LT(slot, kMaxSlots);
     [[maybe_unused]] const ConfinementGuard guard(*this);
     while (c_.size() <= slot) c_.emplace_back();
     c_[slot].assign(n, cplx{0.0, 0.0});
@@ -55,6 +63,7 @@ class ScratchArena {
 
   /// Real buffer for `slot`, resized to n (contents stale).
   std::vector<double>& dvec(std::size_t slot, std::size_t n) {
+    ZZ_DCHECK_LT(slot, kMaxSlots);
     [[maybe_unused]] const ConfinementGuard guard(*this);
     while (d_.size() <= slot) d_.emplace_back();
     d_[slot].resize(n);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "zz/chan/channel.h"
+#include "zz/common/check.h"
 #include "zz/common/mathutil.h"
 #include "zz/emu/collision.h"
 #include "zz/phy/receiver.h"
@@ -83,6 +84,8 @@ bool clean_delivery(Rng& rng, Sender& s, const ExperimentConfig& cfg,
 // Size-generic flow bookkeeping: spans over the n senders, no fixed arity.
 void finish_stats(ScenarioStats& stats, std::span<const Sender> senders,
                   std::span<const std::size_t> conc_delivered) {
+  ZZ_CHECK_EQ(stats.flows.size(), senders.size());
+  ZZ_CHECK_EQ(conc_delivered.size(), senders.size());
   for (std::size_t i = 0; i < senders.size(); ++i) {
     stats.flows[i].delivered = senders[i].delivered;
     stats.flows[i].throughput =
@@ -292,6 +295,9 @@ ScenarioStats run_live(Rng& rng, const Scenario& sc) {
 
     for (std::size_t a = 0; a < act.size(); ++a) {
       Sender& s = senders[act[a]];
+      // Every sender in `act` was backlogged when the round started; an
+      // exhausted sender here would wrap `remaining` and spin forever.
+      ZZ_DCHECK_GT(s.remaining, 0u);
       if (got[a]) {
         ++s.delivered;
         note_concurrent(true, act[a], 1);
@@ -463,6 +469,8 @@ ScenarioStats run_logged_joint(Rng& rng, const Scenario& sc) {
         const zigzag::ZigZagDecoder dec(sc.joint_decode);
         res = dec.decode({ordered.data(), ordered.size()}, profiles, n, &cache);
       }
+      // Joint decoders size their result to the requested packet count.
+      ZZ_CHECK_EQ(res.packets.size(), n);
       for (std::size_t i = 0; i < n; ++i)
         ok[i] = res.packets[i].header_ok &&
                 delivered_ok(frames[i], res.packets[i].header,
@@ -617,6 +625,7 @@ ScenarioStats run_slotted(Rng& rng, const Scenario& sc) {
     for (std::size_t i = 0; i < n; ++i) {
       Sender& s = senders[i];
       if (got[i] && s.inflight) {
+        ZZ_DCHECK_GT(s.remaining, 0u);  // an inflight packet is backlogged
         ++s.delivered;
         if (contended) ++conc_delivered[i];
         --s.remaining;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "zz/chan/channel.h"
+#include "zz/common/check.h"
 #include "zz/common/mathutil.h"
 #include "zz/phy/preamble.h"
 #include "zz/phy/scrambler.h"
@@ -79,6 +80,9 @@ class MpEngine {
 
  private:
   void init(std::size_t packet_syms) {
+    // decode() screens empty inputs before constructing the engine.
+    ZZ_CHECK_GT(C_, 0u);
+    ZZ_CHECK_GT(P_, 0u);
     residual_.resize(C_);
     noise_.resize(C_);
     imgs_.assign(P_, std::vector<CVec>(C_));
@@ -225,6 +229,7 @@ class MpEngine {
               static_cast<double>(l.origin) +
               chan::kSps * static_cast<double>(k1) + params.mu + tail)),
           lo, nbuf);
+      ZZ_DCHECK_LE(lo, hi);  // hi is clamped to [lo, nbuf]
       if (img_.size() < residual_[c].size()) img_.resize(residual_[c].size());
       std::fill(img_.begin() + lo, img_.begin() + hi, cplx{0.0, 0.0});
       chan::add_signal(img_, l.origin, u_, params, 1.0, opt_.interp_half_width);
@@ -364,6 +369,9 @@ class MpEngine {
       pk.decided.resize(pk.len);
       pk.known.resize(pk.len);
     }
+    // A parsed header's layout covers preamble + header symbols, so the
+    // truncation can never cut into the header that was just decoded.
+    ZZ_CHECK_LE(h1, pk.len) << " truncated layout cut into the header";
   }
 
   // ------------------------------------------------------------------ peel
@@ -392,6 +400,7 @@ class MpEngine {
     }
 
     const auto res = dec_.decode(view_, l.origin, k0, k1, specs, l.est);
+    ZZ_DCHECK_EQ(res.decided.size(), k1 - k0);
     ++chunks_;
     for (std::size_t k = k0; k < k1; ++k) {
       pk.decided[k] = res.decided[k - k0];
@@ -420,6 +429,10 @@ class MpEngine {
     const MpLink& la2 = links_[a][c2];
     const MpLink& lb1 = links_[b][c1];
     const MpLink& lb2 = links_[b][c2];
+    // The planner pairs two distinct packets across two distinct equations;
+    // a degenerate pairing would make the 2x2 system singular by design.
+    ZZ_DCHECK_NE(a, b);
+    ZZ_DCHECK_NE(c1, c2);
     if (!la1.present || !la2.present || !lb1.present || !lb2.present) return;
     const std::size_t k0 = std::min(step.k0, pk.len);
     const std::size_t k1 = std::min(step.k1, pk.len);

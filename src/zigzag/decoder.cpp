@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "zz/chan/channel.h"
+#include "zz/common/check.h"
 #include "zz/common/mathutil.h"
 #include "zz/common/mutex.h"
 #include "zz/common/thread_annotations.h"
@@ -102,6 +103,30 @@ struct Fingerprint {
     }
   }
 };
+
+// Size pins for every struct cached_decode() fingerprints field-by-field.
+// Adding a member to one of these without feeding it into the fingerprint
+// makes two inequivalent decodes collide and replay each other's results —
+// a silent wrong-answer bug (this is also what the zz-decodecache-
+// fingerprint-complete tidy check enforces structurally). A new member
+// changes sizeof on this pinned ABI and fails the build here, forcing the
+// author to visit the fingerprint feed; update BOTH the hash and the pin.
+#if defined(__x86_64__) && defined(__linux__)
+static_assert(sizeof(sig::Fir) == 32,
+              "Fir changed: update cached_decode's fingerprint and this pin");
+static_assert(sizeof(chan::ChannelParams) == 72,
+              "ChannelParams changed: update cached_decode's fingerprint "
+              "and this pin");
+static_assert(sizeof(phy::LinkEstimate) == 120,
+              "LinkEstimate changed: update cached_decode's fingerprint "
+              "and this pin");
+static_assert(sizeof(phy::SymbolSpec) == 32,
+              "SymbolSpec changed: update cached_decode's fingerprint "
+              "and this pin");
+static_assert(sizeof(phy::TrackingGains) == 48,
+              "TrackingGains changed: update cached_decode's fingerprint "
+              "and this pin");
+#endif
 
 using phy::Modulation;
 
@@ -230,6 +255,10 @@ class Engine {
  private:
   // ---------------------------------------------------------------- setup
   void init() {
+    // decode() screens empty inputs; an engine constructed around zero
+    // collisions or packets is a caller bug, not a degenerate decode.
+    ZZ_CHECK_GT(C_, 0u);
+    ZZ_CHECK_GT(P_, 0u);
     residual_.resize(C_);
     imgs_.assign(P_, std::vector<CVec>(C_));
     pres_.assign(C_, std::vector<std::vector<double>>(P_));
@@ -668,6 +697,9 @@ class Engine {
       w = render_image(p, c, k0, k1, img);  // re-render with refined estimate
     auto& acct = imgs_[p][c];
     if (acct.empty()) acct.assign(residual_[c].size(), cplx{0.0, 0.0});
+    // image_window clamps to the buffer; the subtraction below relies on it.
+    ZZ_DCHECK_LE(static_cast<std::size_t>(w.s0) + img.size(),
+                 residual_[c].size());
     for (std::size_t i = 0; i < img.size(); ++i) {
       const auto n = static_cast<std::size_t>(w.s0) + i;
       residual_[c][n] -= img[i];
@@ -710,6 +742,8 @@ class Engine {
       const CVec& view, std::ptrdiff_t origin, std::size_t k0, std::size_t k1,
       std::span<const phy::SymbolSpec> specs, phy::LinkEstimate& est,
       bool backward) {
+    ZZ_DCHECK_LE(k0, k1);
+    ZZ_DCHECK_EQ(specs.size(), k1 - k0);
     if (!cache_) {
       last_res_ = dec_.decode(view, origin, k0, k1, specs, est, backward);
       return last_res_;
@@ -755,12 +789,20 @@ class Engine {
     fp.f64(g.timing);
     fp.u64(g.enabled ? 1 : 0);
     fp.u64(dec_.interp_half_width());
+    // The interpolation route is part of the decode configuration: the two
+    // routes are bit-identical by contract, but a cache shared between
+    // decoders configured differently must not conflate their entries.
+    fp.u64(dec_.block_interp() ? 1 : 0);
 
     auto& impl = DecodeCacheAccess::impl(*cache_);
     {
       MutexLock lock(impl.mu);
       const auto it = impl.map.find(fp.a);
       if (it != impl.map.end() && it->second.check == fp.b) {
+        // Replay integrity: a full-fingerprint match must carry a result of
+        // the requested shape — anything else means the fingerprint missed
+        // an input (the failure mode the size pins above guard against).
+        ZZ_DCHECK_EQ(it->second.res.decided.size(), k1 - k0);
         ++impl.hits;
         est.params = it->second.params_out;
         est.noise_var = it->second.noise_var_out;
@@ -800,6 +842,10 @@ class Engine {
                     std::size_t k1, bool backward, int bank) {
     PacketCtx& pk = pkts_[p];
     Link& l = links_[p][c];
+    // find_run / clamp_to_header / force_frontier_chunk all bound their
+    // ranges by the believed length; a chunk past it would index the
+    // decided/known/soft arrays out of range.
+    ZZ_DCHECK_LE(k1, pk.len);
 
     // Window of interest plus margins for the equalizer and pulse tails.
     const auto w0 = std::max<std::ptrdiff_t>(
@@ -828,6 +874,7 @@ class Engine {
 
     const auto& res =
         cached_decode(view, l.origin - w0, k0, k1, specs, l.est, backward);
+    ZZ_DCHECK_EQ(res.decided.size(), k1 - k0);
     ++chunks_;
 
     for (std::size_t k = k0; k < k1; ++k) {
@@ -859,6 +906,7 @@ class Engine {
   // for the projection to be unbiased.
   void retro_refine(std::size_t q, std::size_t c, std::size_t w0,
                     std::size_t w1) {
+    ZZ_DCHECK_LE(w0, w1);
     const auto& acct = imgs_[q][c];
     if (acct.empty()) return;
     Link& l = links_[q][c];
@@ -983,6 +1031,7 @@ class Engine {
   // was (residual interference included), not just the link gain.
   void note_quality(int bank, std::size_t p, std::size_t c, double nv,
                     std::size_t count) {
+    ZZ_DCHECK_GT(count, 0u);  // a zero-symbol decode has no quality to note
     auto& cur = bank_nv_[bank][p][c];
     const double w = static_cast<double>(count);
     if (cur <= 0.0)
@@ -1065,6 +1114,9 @@ class Engine {
           soft_ok_[bank][p][c].resize(pk.len);
         }
     }
+    // A parsed header's layout always covers preamble + header symbols, so
+    // the truncation above can never cut into already-decoded header state.
+    ZZ_CHECK_LE(h1, pk.len) << " truncated layout cut into the header";
   }
 
   // Decode the single cleanest available chunk across all collisions: the
@@ -1209,6 +1261,7 @@ class Engine {
     Link& l = links_[p][c];
     if (!l.present || !opt_.reconstruction_tracking) return;
     const PacketCtx& pk = pkts_[p];
+    ZZ_DCHECK_EQ(u_full.size(), pk.len);  // full-packet symbol stream
 
     CVec& view = arena_.cvec(kSlotEstView, residual_[c].size());
     std::copy(residual_[c].begin(), residual_[c].end(), view.begin());
@@ -1245,6 +1298,7 @@ class Engine {
     }
     // Parabolic touch-up between grid points.
     const auto bi = static_cast<std::size_t>(std::lround(best_dmu / step) + 3);
+    ZZ_DCHECK_LT(bi, scores.size());  // best_dmu came from the scan grid
     if (bi > 0 && bi + 1 < scores.size()) {
       const double ym = scores[bi - 1], y0 = scores[bi], yp = scores[bi + 1];
       const double d = ym - 2.0 * y0 + yp;
@@ -1310,6 +1364,8 @@ class Engine {
           residual_[c][n] += acct[n];
           acct[n] = cplx{0.0, 0.0};
         }
+        ZZ_DCHECK_LE(static_cast<std::size_t>(w.s0) + fresh.size(),
+                     residual_[c].size());
         for (std::size_t j = 0; j < fresh.size(); ++j) {
           const auto n = static_cast<std::size_t>(w.s0) + j;
           residual_[c][n] -= fresh[j];
@@ -1456,6 +1512,9 @@ class Engine {
       }
 
       const std::size_t h0 = rxcfg_.preamble_len;
+      // layout_for() always budgets the preamble; a shorter total would
+      // make the strip below walk off the combined buffer.
+      ZZ_CHECK_LE(h0, combined.size());
       r.soft.assign(combined.begin() + static_cast<std::ptrdiff_t>(h0),
                     combined.end());
       const phy::Modulator bpsk(Modulation::BPSK);

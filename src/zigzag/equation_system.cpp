@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "zz/common/check.h"
+
 namespace zz::zigzag {
 namespace {
 
@@ -80,11 +82,15 @@ std::vector<ChunkEquation> chunk_equations(const Pattern& pattern) {
       eq.collision = c;
       eq.t0 = cuts[s];
       eq.t1 = cuts[s + 1];
+      ZZ_DCHECK_LT(eq.t0, eq.t1);  // cuts are sorted and deduplicated
       for (const auto& pl : coll) {
         const auto len = static_cast<std::ptrdiff_t>(pattern.lengths[pl.packet]);
         const std::ptrdiff_t k0 = eq.t0 - pl.offset;
         const std::ptrdiff_t k1 = eq.t1 - pl.offset;
         if (k1 <= 0 || k0 >= len) continue;
+        // pl.offset is itself a cut, so a segment overlapping the packet
+        // starts at or after it — the size_t casts below cannot wrap.
+        ZZ_DCHECK_GE(k0, 0);
         eq.terms.push_back({pl.packet, static_cast<std::size_t>(k0),
                             static_cast<std::size_t>(k1)});
       }
@@ -148,6 +154,7 @@ MpPlan message_passing_plan(const Pattern& pattern, std::size_t guard) {
         for (const auto& pa : pattern.collisions[c1]) {
           for (const auto& pb : pattern.collisions[c1]) {
             if (pb.packet <= pa.packet) continue;
+            ZZ_DCHECK_LT(pa.packet, pb.packet);  // solve the lower-numbered
             // Both packets in c2 at the same relative offset?
             const Pattern::Placement* qa = nullptr;
             const Pattern::Placement* qb = nullptr;
@@ -218,6 +225,8 @@ MpPlan message_passing_plan(const Pattern& pattern, std::size_t guard) {
     if (eliminate_once()) continue;
     break;
   }
+  // Every recorded step is one of the two kinds, counted as it was pushed.
+  ZZ_CHECK_EQ(plan.steps.size(), plan.peels + plan.eliminations);
 
   plan.complete = true;
   for (std::size_t p = 0; p < npk; ++p) {

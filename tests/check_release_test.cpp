@@ -1,0 +1,47 @@
+// Semantics of zz/common/check.h with ZZ_DCHECK contracts compiled OUT —
+// this TU is built WITHOUT ZZ_ENABLE_DCHECKS (the plain Release shape that
+// runs the drift-gated benches), in the same binary as check_test.cpp.
+#include "zz/common/check.h"
+
+#include <gtest/gtest.h>
+
+#ifdef ZZ_ENABLE_DCHECKS
+#error "check_release_test.cpp must be compiled without ZZ_ENABLE_DCHECKS"
+#endif
+
+namespace {
+
+int g_evals = 0;
+bool counted_false() {
+  ++g_evals;
+  return false;
+}
+
+TEST(CheckRelease, DcheckCompilesOutAndDoesNotEvaluateCondition) {
+  g_evals = 0;
+  ZZ_DCHECK(counted_false()) << "never " << counted_false();
+  EXPECT_EQ(g_evals, 0) << "compiled-out DCHECK must not evaluate operands";
+}
+
+TEST(CheckRelease, DcheckComparisonCompilesOut) {
+  g_evals = 0;
+  ZZ_DCHECK_EQ(g_evals, 99);  // false, but compiled out — must not fire
+  ZZ_DCHECK_LT(5, counted_false() ? 9 : 1);
+  EXPECT_EQ(g_evals, 0);
+}
+
+TEST(CheckRelease, DcheckStillBindsAsOneStatement) {
+  if (g_evals == 0)
+    ZZ_DCHECK(false) << "then";
+  else
+    ZZ_DCHECK(false) << "else";
+  SUCCEED();
+}
+
+TEST(CheckRelease, CheckStaysFatalInReleaseShape) {
+  ZZ_CHECK(true);
+  EXPECT_DEATH(ZZ_CHECK_NE(7, 7) << " release",
+               "ZZ_CHECK_NE\\(7, 7\\) failed \\(7 vs\\. 7\\).*release");
+}
+
+}  // namespace

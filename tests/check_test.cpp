@@ -1,0 +1,95 @@
+// Semantics of the zz/common/check.h contract library with ZZ_DCHECK
+// contracts compiled IN (this TU is built with ZZ_ENABLE_DCHECKS=1 — see
+// tests/CMakeLists.txt; the compiled-out half lives in
+// check_release_test.cpp, built into the same binary without the define).
+#include "zz/common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#ifndef ZZ_ENABLE_DCHECKS
+#error "check_test.cpp must be compiled with ZZ_ENABLE_DCHECKS=1"
+#endif
+
+namespace {
+
+int g_evals = 0;
+int counted(int v) {
+  ++g_evals;
+  return v;
+}
+
+TEST(Check, PassingCheckIsSilent) {
+  ZZ_CHECK(1 + 1 == 2);
+  ZZ_CHECK(true) << "never rendered";
+  SUCCEED();
+}
+
+TEST(Check, PassingCheckDoesNotEvaluateMessage) {
+  g_evals = 0;
+  ZZ_CHECK(true) << "count=" << counted(7);
+  EXPECT_EQ(g_evals, 0) << "message operands must be lazy";
+}
+
+TEST(Check, ComparisonOperandsEvaluateExactlyOnce) {
+  g_evals = 0;
+  ZZ_CHECK_EQ(counted(3), 3);
+  EXPECT_EQ(g_evals, 1);
+  g_evals = 0;
+  ZZ_CHECK_LT(counted(1), counted(2));
+  EXPECT_EQ(g_evals, 2);
+}
+
+TEST(Check, AllComparisonFormsPass) {
+  ZZ_CHECK_EQ(4, 4);
+  ZZ_CHECK_NE(4, 5);
+  ZZ_CHECK_LT(4, 5);
+  ZZ_CHECK_LE(5, 5);
+  ZZ_CHECK_GT(5, 4);
+  ZZ_CHECK_GE(5, 5);
+}
+
+TEST(Check, BindsAsOneStatementInUnbracedIfElse) {
+  // Compile-shape contract: the macros must not swallow or steal an else.
+  if (g_evals >= 0)
+    ZZ_CHECK(true) << "then-branch";
+  else
+    ZZ_CHECK(true) << "else-branch";
+  SUCCEED();
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailureReportsFileLineAndExpression) {
+  EXPECT_DEATH(ZZ_CHECK(1 == 2),
+               "check_test\\.cpp:[0-9]+: ZZ_CHECK\\(1 == 2\\) failed");
+}
+
+TEST(CheckDeathTest, FailureAppendsStreamedMessage) {
+  EXPECT_DEATH(ZZ_CHECK(false) << "seed=" << 42 << " stage=" << "peel",
+               "ZZ_CHECK\\(false\\) failed.*seed=42 stage=peel");
+}
+
+TEST(CheckDeathTest, ComparisonFailurePrintsBothOperands) {
+  const int got = 3, want = 4;
+  EXPECT_DEATH(ZZ_CHECK_EQ(got, want),
+               "ZZ_CHECK_EQ\\(got, want\\) failed \\(3 vs\\. 4\\)");
+}
+
+TEST(CheckDeathTest, ComparisonFailureTakesTrailingMessage) {
+  EXPECT_DEATH(ZZ_CHECK_LT(9, 2) << " while scheduling chunk " << 5,
+               "ZZ_CHECK_LT\\(9, 2\\) failed \\(9 vs\\. 2\\).*chunk 5");
+}
+
+TEST(CheckDeathTest, StringOperandsRender) {
+  const std::string a = "fwd", b = "bwd";
+  EXPECT_DEATH(ZZ_CHECK_EQ(a, b), "failed \\(fwd vs\\. bwd\\)");
+}
+
+TEST(CheckDeathTest, DchecksAreFatalWhenCompiledIn) {
+  EXPECT_DEATH(ZZ_DCHECK(false) << "dcheck on", "dcheck on");
+  EXPECT_DEATH(ZZ_DCHECK_GE(1, 2), "ZZ_DCHECK_GE|ZZ_CHECK_GE");
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "ArenaSlotEscapeCheck.h"
+
+#include "clang/AST/Decl.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace zz::tidy {
+
+using namespace clang::ast_matchers;  // NOLINT: matcher DSL convention
+
+namespace {
+
+bool isScratchArenaType(clang::QualType T) {
+  T = T.getNonReferenceType();
+  if (const auto* P = T->getAs<clang::PointerType>())
+    T = P->getPointeeType();
+  const auto* Rec = T->getAsCXXRecordDecl();
+  return Rec && Rec->getQualifiedNameAsString() == "zz::sig::ScratchArena";
+}
+
+}  // namespace
+
+void ArenaSlotEscapeCheck::registerMatchers(MatchFinder* Finder) {
+  const auto SlotCall = cxxMemberCallExpr(callee(
+      cxxMethodDecl(hasAnyName("cvec", "czero", "dvec"),
+                    ofClass(hasName("::zz::sig::ScratchArena")))));
+  // Shape 1: `return arena_.cvec(...)` — the slot reference outlives the
+  // scope that knows which slot it aliases.
+  Finder->addMatcher(
+      returnStmt(hasReturnValue(ignoringParenImpCasts(SlotCall)))
+          .bind("escape-return"),
+      this);
+  // Shape 2: a lambda passed to ThreadPool::parallel_for whose captures
+  // carry a ScratchArena (by reference or pointer) across the submit
+  // boundary into worker threads.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasName("parallel_for"),
+                               ofClass(hasName("::zz::ThreadPool")))),
+          hasAnyArgument(ignoringParenImpCasts(
+              lambdaExpr().bind("pool-lambda")))),
+      this);
+}
+
+void ArenaSlotEscapeCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* Ret =
+          Result.Nodes.getNodeAs<clang::ReturnStmt>("escape-return")) {
+    diag(Ret->getBeginLoc(),
+         "returning a ScratchArena slot reference escapes the arena scope; "
+         "the next use of the slot silently invalidates it — pass the "
+         "buffer in, or copy out");
+    return;
+  }
+  const auto* Lam = Result.Nodes.getNodeAs<clang::LambdaExpr>("pool-lambda");
+  if (!Lam) return;
+  for (const clang::LambdaCapture& Cap : Lam->captures()) {
+    if (!Cap.capturesVariable()) continue;
+    const clang::ValueDecl* Var = Cap.getCapturedVar();
+    if (!Var || !isScratchArenaType(Var->getType())) continue;
+    const bool ByRef =
+        Cap.getCaptureKind() == clang::LCK_ByRef ||
+        Var->getType()->isPointerType() ||
+        Var->getType()->isReferenceType();
+    if (!ByRef) continue;
+    diag(Cap.getLocation(),
+         "lambda passed to ThreadPool::parallel_for captures ScratchArena "
+         "'%0' by reference; arenas are thread-confined (zz/signal/"
+         "scratch.h) — give each worker its own arena")
+        << Var->getName();
+  }
+}
+
+}  // namespace zz::tidy

@@ -1,0 +1,25 @@
+// zz-arena-slot-escape — references into a ScratchArena slot are owner-
+// scoped: the next cvec/czero/dvec call on the same slot invalidates the
+// contents, and arenas are thread-confined (src/signal/include/zz/signal/
+// scratch.h). Two escape shapes are flagged:
+//   1. returning a slot reference out of the function that obtained it
+//      (the caller cannot see which slot it aliases);
+//   2. a lambda handed to ThreadPool::parallel_for capturing a ScratchArena
+//      by reference (worker threads would enter a thread-confined arena).
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace zz::tidy {
+
+class ArenaSlotEscapeCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  ArenaSlotEscapeCheck(llvm::StringRef Name,
+                       clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace zz::tidy

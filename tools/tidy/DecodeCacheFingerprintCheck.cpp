@@ -1,0 +1,64 @@
+#include "DecodeCacheFingerprintCheck.h"
+
+#include <cstddef>
+#include <iterator>
+
+#include "clang/AST/Decl.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace zz::tidy {
+
+using namespace clang::ast_matchers;  // NOLINT: matcher DSL convention
+
+namespace {
+
+// Field counts cached_decode() (src/zigzag/decoder.cpp) hashes, per struct.
+// A mismatch means a member was added (or removed) without revisiting the
+// fingerprint feed — two inequivalent decodes would share a fingerprint and
+// silently replay each other's results. Fix the fingerprint AND this table
+// AND the sizeof pins next to the Fingerprint struct.
+struct Pinned {
+  const char* name;
+  unsigned fields;
+};
+constexpr Pinned kPinned[] = {
+    {"zz::chan::ChannelParams", 5},  // h, freq_offset, mu, drift, isi
+    {"zz::phy::LinkEstimate", 4},    // params, equalizer, noise_var, seeded
+    {"zz::phy::SymbolSpec", 2},      // mod, pilot
+    {"zz::phy::TrackingGains", 6},   // block, phase, freq, amp, timing, en
+    {"zz::sig::Fir", 2},             // taps_, pre_
+};
+
+}  // namespace
+
+void DecodeCacheFingerprintCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      cxxRecordDecl(isDefinition(),
+                    hasAnyName("::zz::chan::ChannelParams",
+                               "::zz::phy::LinkEstimate",
+                               "::zz::phy::SymbolSpec",
+                               "::zz::phy::TrackingGains", "::zz::sig::Fir"))
+          .bind("rec"),
+      this);
+}
+
+void DecodeCacheFingerprintCheck::check(
+    const MatchFinder::MatchResult& Result) {
+  const auto* Rec = Result.Nodes.getNodeAs<clang::CXXRecordDecl>("rec");
+  if (!Rec) return;
+  const std::string Qual = Rec->getQualifiedNameAsString();
+  for (const Pinned& P : kPinned) {
+    if (Qual != P.name) continue;
+    const auto Fields = static_cast<unsigned>(
+        std::distance(Rec->field_begin(), Rec->field_end()));
+    if (Fields == P.fields) return;
+    diag(Rec->getLocation(),
+         "'%0' has %1 fields but DecodeCache's fingerprint hashes %2; "
+         "update cached_decode() in src/zigzag/decoder.cpp (and its sizeof "
+         "pins) to cover the new layout, then re-pin this count")
+        << Qual << Fields << P.fields;
+    return;
+  }
+}
+
+}  // namespace zz::tidy

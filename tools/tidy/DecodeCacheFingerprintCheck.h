@@ -1,0 +1,24 @@
+// zz-decodecache-fingerprint-complete — every struct whose fields feed
+// DecodeCache's 128-bit fingerprint must keep the field count the
+// fingerprint code was written against (docs/ANALYSIS.md §8). See the
+// matching static_assert sizeof pins next to the Fingerprint struct in
+// src/zigzag/decoder.cpp: the pins catch size-changing edits on the pinned
+// ABI, this check catches ANY added/removed field on every platform the
+// plugin runs on, and names the struct in the diagnostic.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace zz::tidy {
+
+class DecodeCacheFingerprintCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  DecodeCacheFingerprintCheck(llvm::StringRef Name,
+                              clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace zz::tidy

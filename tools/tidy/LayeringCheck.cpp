@@ -1,0 +1,150 @@
+#include "LayeringCheck.h"
+
+#include <memory>
+#include <utility>
+
+#include "clang/Basic/SourceManager.h"
+#include "clang/Basic/Version.h"
+#include "clang/Lex/PPCallbacks.h"
+#include "clang/Lex/Preprocessor.h"
+#include "llvm/Support/MemoryBuffer.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace zz::tidy {
+namespace {
+
+/// Module owning a path under src/ ("" when the file is outside src/,
+/// i.e. a leaf free to include anything).
+std::string moduleOfFile(llvm::StringRef Path) {
+  const std::size_t Pos = Path.rfind("src/");
+  if (Pos == llvm::StringRef::npos) return {};
+  llvm::StringRef Rest = Path.drop_front(Pos + 4);
+  const std::size_t Slash = Rest.find('/');
+  if (Slash == llvm::StringRef::npos) return {};
+  return Rest.take_front(Slash).str();
+}
+
+/// Module a spelled include names ("" for non-zz includes).
+std::string moduleOfInclude(llvm::StringRef FileName) {
+  if (!FileName.consume_front("zz/")) return {};
+  const std::size_t Slash = FileName.find('/');
+  if (Slash == llvm::StringRef::npos) return {};
+  return FileName.take_front(Slash).str();
+}
+
+class LayeringPPCallbacks : public clang::PPCallbacks {
+ public:
+  LayeringPPCallbacks(LayeringCheck& Check, const clang::SourceManager& SM)
+      : check_(Check), sm_(SM) {}
+
+  // The InclusionDirective signature changed across clang-tidy's supported
+  // LLVM majors; declare the one this build's headers expect.
+#if LLVM_VERSION_MAJOR >= 19
+  void InclusionDirective(clang::SourceLocation HashLoc,
+                          const clang::Token& IncludeTok,
+                          llvm::StringRef FileName, bool IsAngled,
+                          clang::CharSourceRange FilenameRange,
+                          clang::OptionalFileEntryRef File,
+                          llvm::StringRef SearchPath,
+                          llvm::StringRef RelativePath,
+                          const clang::Module* SuggestedModule,
+                          bool ModuleImported,
+                          clang::SrcMgr::CharacteristicKind FileType) override {
+    handle(HashLoc, FileName);
+  }
+#elif LLVM_VERSION_MAJOR >= 16
+  void InclusionDirective(clang::SourceLocation HashLoc,
+                          const clang::Token& IncludeTok,
+                          llvm::StringRef FileName, bool IsAngled,
+                          clang::CharSourceRange FilenameRange,
+                          clang::OptionalFileEntryRef File,
+                          llvm::StringRef SearchPath,
+                          llvm::StringRef RelativePath,
+                          const clang::Module* Imported,
+                          clang::SrcMgr::CharacteristicKind FileType) override {
+    handle(HashLoc, FileName);
+  }
+#else
+  void InclusionDirective(clang::SourceLocation HashLoc,
+                          const clang::Token& IncludeTok,
+                          llvm::StringRef FileName, bool IsAngled,
+                          clang::CharSourceRange FilenameRange,
+                          llvm::Optional<clang::FileEntryRef> File,
+                          llvm::StringRef SearchPath,
+                          llvm::StringRef RelativePath,
+                          const clang::Module* Imported,
+                          clang::SrcMgr::CharacteristicKind FileType) override {
+    handle(HashLoc, FileName);
+  }
+#endif
+
+ private:
+  void handle(clang::SourceLocation HashLoc, llvm::StringRef FileName) {
+    const std::string To = moduleOfInclude(FileName);
+    if (To.empty()) return;  // not a zz/ include
+    const clang::PresumedLoc PLoc = sm_.getPresumedLoc(HashLoc);
+    if (PLoc.isInvalid()) return;
+    const std::string From = moduleOfFile(PLoc.getFilename());
+    if (From.empty() || From == To) return;  // leaf file or self-include
+    const auto& Dag = check_.dag();
+    const auto It = Dag.find(From);
+    if (It == Dag.end()) return;  // unknown module: DAG missing or new dir
+    if (It->second.count(To)) return;
+    check_.diag(HashLoc,
+                "module '%0' must not include \"%1\": '%2' is not among its "
+                "deps in tools/tidy/layering.dag — move the code down the "
+                "stack or (deliberately) extend the DAG")
+        << From << FileName << To;
+  }
+
+  LayeringCheck& check_;
+  const clang::SourceManager& sm_;
+};
+
+}  // namespace
+
+LayeringCheck::LayeringCheck(llvm::StringRef Name,
+                             clang::tidy::ClangTidyContext* Context)
+    : ClangTidyCheck(Name, Context),
+      dag_file_(Options.get("DagFile", "tools/tidy/layering.dag")) {}
+
+void LayeringCheck::storeOptions(clang::tidy::ClangTidyOptions::OptionMap& Opts) {
+  Options.store(Opts, "DagFile", dag_file_);
+}
+
+void LayeringCheck::loadDag() {
+  if (dag_loaded_) return;
+  dag_loaded_ = true;
+  auto Buf = llvm::MemoryBuffer::getFile(dag_file_);
+  if (!Buf) {
+    // Loud by design: a silently-skipped layering gate looks green while
+    // enforcing nothing. run_clang_tidy.sh runs from the repo root, where
+    // the default relative path resolves; point DagFile elsewhere via
+    // .clang-tidy CheckOptions if invoking from another directory.
+    llvm::errs() << "zz-layering: cannot read DAG file '" << dag_file_
+                 << "' (cwd-relative); layering NOT enforced this run\n";
+    return;
+  }
+  llvm::StringRef Data = (*Buf)->getBuffer();
+  while (!Data.empty()) {
+    auto [Line, Rest] = Data.split('\n');
+    Data = Rest;
+    Line = Line.trim();
+    if (Line.empty() || Line[0] == '#') continue;  // StringRef::startswith
+                                                   // was removed in LLVM 18
+    auto [Mod, Deps] = Line.split(':');
+    std::set<std::string>& Allowed = dag_[Mod.trim().str()];
+    llvm::SmallVector<llvm::StringRef, 8> Parts;
+    Deps.split(Parts, ' ', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+    for (llvm::StringRef D : Parts) Allowed.insert(D.trim().str());
+  }
+}
+
+void LayeringCheck::registerPPCallbacks(const clang::SourceManager& SM,
+                                        clang::Preprocessor* PP,
+                                        clang::Preprocessor*) {
+  loadDag();
+  PP->addPPCallbacks(std::make_unique<LayeringPPCallbacks>(*this, SM));
+}
+
+}  // namespace zz::tidy

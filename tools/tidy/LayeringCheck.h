@@ -1,0 +1,39 @@
+// zz-layering — includes must respect the module DAG declared once in
+// tools/tidy/layering.dag (docs/ANALYSIS.md §8). A file under src/<m>/ may
+// include "zz/<m>/..." plus "zz/<dep>/..." for each dep the DAG grants <m>.
+// Files outside src/ (tests, bench, examples, tools) are leaves and may
+// include anything. The same DAG file drives the grep fallback in
+// scripts/lint_conventions.sh, so the rule holds even where this plugin
+// cannot be built.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace zz::tidy {
+
+class LayeringCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  LayeringCheck(llvm::StringRef Name, clang::tidy::ClangTidyContext* Context);
+  void registerPPCallbacks(const clang::SourceManager& SM,
+                           clang::Preprocessor* PP,
+                           clang::Preprocessor* ModuleExpanderPP) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap& Opts) override;
+
+  /// Loaded module -> allowed-dep-modules table (self always allowed).
+  const std::map<std::string, std::set<std::string>>& dag() const {
+    return dag_;
+  }
+
+ private:
+  void loadDag();
+
+  std::string dag_file_;  ///< `DagFile` check option
+  std::map<std::string, std::set<std::string>> dag_;
+  bool dag_loaded_ = false;
+};
+
+}  // namespace zz::tidy

@@ -1,0 +1,64 @@
+#include "NondeterminismCheck.h"
+
+#include "clang/AST/Decl.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace zz::tidy {
+
+using namespace clang::ast_matchers;  // NOLINT: matcher DSL convention
+
+void NondeterminismCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(
+                  cxxRecordDecl(hasName("::std::random_device"))))))
+          .bind("random-device"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::time", "::clock", "::gettimeofday",
+                              "::clock_gettime", "::rand", "::srand",
+                              "::random", "::srandom", "::drand48"))
+                   .bind("libc-fn")))
+          .bind("libc-call"),
+      this);
+  // now() of the non-monotonic clocks. The callee's qualified name is
+  // inspected in check() so high_resolution_clock (an alias of either
+  // system_clock or steady_clock, per libstdc++/libc++ choice) is caught by
+  // its spelled class rather than what the alias resolves to.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasName("now"),
+                                   hasParent(cxxRecordDecl(hasAnyName(
+                                       "::std::chrono::system_clock",
+                                       "::std::chrono::high_resolution_clock",
+                                       "::std::chrono::_V2::system_clock",
+                                       "::std::chrono::_V2::high_resolution_clock"))))))
+          .bind("clock-now"),
+      this);
+}
+
+void NondeterminismCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* TL = Result.Nodes.getNodeAs<clang::TypeLoc>("random-device")) {
+    diag(TL->getBeginLoc(),
+         "std::random_device draws hardware entropy; bench-reachable code "
+         "must be replayable — take a seeded zz::Rng instead");
+    return;
+  }
+  if (const auto* Call = Result.Nodes.getNodeAs<clang::CallExpr>("libc-call")) {
+    const auto* Fn = Result.Nodes.getNodeAs<clang::FunctionDecl>("libc-fn");
+    diag(Call->getBeginLoc(),
+         "'%0' reads wall-clock or hidden-state randomness; results would "
+         "not replay bit-identically — use a seeded zz::Rng, or "
+         "steady_clock for wall budgets")
+        << (Fn ? Fn->getName() : llvm::StringRef("<libc>"));
+    return;
+  }
+  if (const auto* Call = Result.Nodes.getNodeAs<clang::CallExpr>("clock-now")) {
+    diag(Call->getBeginLoc(),
+         "system_clock/high_resolution_clock::now() is wall time; only "
+         "steady_clock is allowed in bench-reachable code (wall budgets), "
+         "and never as a data input");
+  }
+}
+
+}  // namespace zz::tidy

@@ -1,0 +1,28 @@
+// zz-nondeterminism — the bench drift gates and the DecodeCache replay
+// contract both rest on bit-identical reruns (docs/ANALYSIS.md §8), so
+// bench-reachable code must not read wall-clock entropy or the C library's
+// hidden-state RNG. Flags:
+//   * std::random_device (construction or use);
+//   * ::time, ::clock, ::gettimeofday, ::clock_gettime, ::rand, ::srand,
+//     ::random, ::srandom, ::drand48;
+//   * std::chrono::system_clock::now / high_resolution_clock::now.
+// steady_clock is allowed: wall-time budgets and progress logs are not part
+// of any decoded result. Seeded zz::Rng (sharded via ThreadPool::shard_seed)
+// is the sanctioned randomness source.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace zz::tidy {
+
+class NondeterminismCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  NondeterminismCheck(llvm::StringRef Name,
+                      clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace zz::tidy

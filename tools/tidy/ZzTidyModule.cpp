@@ -1,0 +1,36 @@
+// The zz domain clang-tidy module: registers the four project-invariant
+// checks under the `zz-` prefix (docs/ANALYSIS.md §8). Built as a plugin
+// (`-load libzz_tidy_checks.so`) against the clang-tidy the host provides;
+// all clang/llvm symbols resolve from the loading clang-tidy binary.
+#include "ArenaSlotEscapeCheck.h"
+#include "DecodeCacheFingerprintCheck.h"
+#include "LayeringCheck.h"
+#include "NondeterminismCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace zz::tidy {
+
+class ZzModule : public clang::tidy::ClangTidyModule {
+ public:
+  void addCheckFactories(
+      clang::tidy::ClangTidyCheckFactories& CheckFactories) override {
+    CheckFactories.registerCheck<DecodeCacheFingerprintCheck>(
+        "zz-decodecache-fingerprint-complete");
+    CheckFactories.registerCheck<ArenaSlotEscapeCheck>("zz-arena-slot-escape");
+    CheckFactories.registerCheck<NondeterminismCheck>("zz-nondeterminism");
+    CheckFactories.registerCheck<LayeringCheck>("zz-layering");
+  }
+};
+
+}  // namespace zz::tidy
+
+namespace clang::tidy {
+
+static ClangTidyModuleRegistry::Add<zz::tidy::ZzModule> X(
+    "zz-module", "zz domain-invariant checks (ZigZag decoding repo)");
+
+// Anchor so `-load` keeps the registration object file.
+volatile int ZzModuleAnchorSource = 0;  // NOLINT
+
+}  // namespace clang::tidy

@@ -1,0 +1,14 @@
+// Positive fixture for zz-arena-slot-escape: expect TWO diagnostics —
+// one for the returned slot reference, one for the by-ref arena capture
+// crossing the ThreadPool::parallel_for boundary.
+// Compile flags (run_tests.sh): -I tools/tidy/test/stubs
+#include "arena.h"
+
+std::vector<std::complex<double>>& leak_slot(zz::sig::ScratchArena& a) {
+  return a.cvec(0, 16);  // slot ref escapes the scope that owns the slot
+}
+
+void share_arena_across_workers(zz::ThreadPool& pool,
+                                zz::sig::ScratchArena& arena) {
+  pool.parallel_for(4, [&arena](std::size_t) { arena.czero(1, 8); });
+}

@@ -1,0 +1,18 @@
+// Negative fixture for zz-arena-slot-escape: slot references stay inside
+// their scope and each pool worker owns its arena — the check must stay
+// silent. Compile flags (run_tests.sh): -I tools/tidy/test/stubs
+#include "arena.h"
+
+double sum_in_scope(zz::sig::ScratchArena& a) {
+  auto& buf = a.dvec(0, 16);  // fine: consumed before the scope ends
+  double acc = 0.0;
+  for (double v : buf) acc += v;
+  return acc;
+}
+
+void per_worker_arena(zz::ThreadPool& pool) {
+  pool.parallel_for(4, [](std::size_t) {
+    zz::sig::ScratchArena local;  // thread-confined, never shared
+    local.cvec(0, 8);
+  });
+}

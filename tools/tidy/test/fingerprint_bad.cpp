@@ -1,0 +1,10 @@
+// Positive fixture: stubs_bad's ChannelParams has 6 fields while the check
+// pins 5 — expect one zz-decodecache-fingerprint-complete diagnostic.
+// Compile flags (run_tests.sh): -I tools/tidy/test/stubs_bad
+#include "zz_structs.h"
+
+int fingerprint_bad_anchor() {
+  zz::chan::ChannelParams p{};
+  (void)p;
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Negative fixture: struct layouts agree with the pinned fingerprint field
+// counts — zz-decodecache-fingerprint-complete must report nothing.
+// Compile flags (run_tests.sh): -I tools/tidy/test/stubs_ok
+#include "zz_structs.h"
+
+int fingerprint_ok_anchor() {
+  zz::chan::ChannelParams p{};
+  zz::phy::LinkEstimate le{};
+  (void)p;
+  (void)le;
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Positive fixture for zz-nondeterminism: expect diagnostics on
+// std::random_device, ::time, and system_clock::now — each breaks
+// bit-identical replay of bench scenarios.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+unsigned entropy_seed() {
+  std::random_device rd;  // hardware entropy
+  return rd() + static_cast<unsigned>(::time(nullptr));  // wall clock
+}
+
+long wall_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,17 @@
+// Negative fixture for zz-nondeterminism: seeded generator plus
+// steady_clock (explicitly allowed for wall budgets) — must stay clean.
+#include <chrono>
+#include <cstdint>
+
+struct Rng {  // stands in for zz::Rng: seed in, replayable stream out
+  explicit Rng(std::uint64_t seed);
+  std::uint64_t next();
+};
+
+std::uint64_t seeded_draw(Rng& rng) { return rng.next(); }
+
+long elapsed_budget_ns(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}

@@ -1,0 +1,31 @@
+// Minimal stand-ins for zz::sig::ScratchArena and zz::ThreadPool with the
+// exact qualified names and member signatures zz-arena-slot-escape matches
+// on. Declarations suffice — fixtures are parsed, never linked.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace zz::sig {
+
+class ScratchArena {
+ public:
+  std::vector<std::complex<double>>& cvec(std::size_t slot, std::size_t n);
+  std::vector<std::complex<double>>& czero(std::size_t slot, std::size_t n);
+  std::vector<double>& dvec(std::size_t slot, std::size_t n);
+};
+
+}  // namespace zz::sig
+
+namespace zz {
+
+class ThreadPool {
+ public:
+  template <class F>
+  void parallel_for(std::size_t n, F&& fn) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+}  // namespace zz

@@ -1,0 +1,55 @@
+// Like stubs_ok/zz_structs.h but ChannelParams grew a sixth member that the
+// DecodeCache fingerprint would NOT hash — exactly the silent-collision bug
+// zz-decodecache-fingerprint-complete exists to catch. Any TU including this
+// header must trip the check on ChannelParams (and only on it).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace zz::sig {
+
+struct Fir {
+  std::vector<std::complex<double>> taps_;
+  int pre_;
+};
+
+}  // namespace zz::sig
+
+namespace zz::chan {
+
+struct ChannelParams {
+  std::complex<double> h;
+  double freq_offset;
+  double mu;
+  double drift;
+  double isi;
+  double cfo_jitter;  // NEW field the fingerprint feed never learned about
+};
+
+}  // namespace zz::chan
+
+namespace zz::phy {
+
+struct SymbolSpec {
+  int mod;
+  bool pilot;
+};
+
+struct TrackingGains {
+  unsigned block;
+  double phase;
+  double freq;
+  double amp;
+  double timing;
+  bool en;
+};
+
+struct LinkEstimate {
+  chan::ChannelParams params;
+  sig::Fir equalizer;
+  double noise_var;
+  bool seeded;
+};
+
+}  // namespace zz::phy

@@ -1,0 +1,54 @@
+// Frozen mirror of the five structs cached_decode() fingerprints
+// (src/zigzag/decoder.cpp). Field counts here match the kPinned table in
+// DecodeCacheFingerprintCheck.cpp, so zz-decodecache-fingerprint-complete
+// must stay silent on any TU including this header.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace zz::sig {
+
+struct Fir {
+  std::vector<std::complex<double>> taps_;
+  int pre_;
+};
+
+}  // namespace zz::sig
+
+namespace zz::chan {
+
+struct ChannelParams {
+  std::complex<double> h;
+  double freq_offset;
+  double mu;
+  double drift;
+  double isi;
+};
+
+}  // namespace zz::chan
+
+namespace zz::phy {
+
+struct SymbolSpec {
+  int mod;
+  bool pilot;
+};
+
+struct TrackingGains {
+  unsigned block;
+  double phase;
+  double freq;
+  double amp;
+  double timing;
+  bool en;
+};
+
+struct LinkEstimate {
+  chan::ChannelParams params;
+  sig::Fir equalizer;
+  double noise_var;
+  bool seeded;
+};
+
+}  // namespace zz::phy

@@ -1,0 +1,2 @@
+// Layering-fixture stub: stands in for any zz/common header.
+#pragma once

@@ -1,0 +1,2 @@
+// Layering-fixture stub: stands in for any zz/zigzag header.
+#pragma once

@@ -1,0 +1,7 @@
+// Positive fixture for zz-layering: this file lives under (a fake) src/mac/
+// and includes a zz/testbed header, but tools/tidy/layering.dag does not
+// grant mac -> testbed (testbed sits ABOVE mac) — expect one diagnostic.
+// Compile flags (run_tests.sh): -I tools/tidy/test/tree/include
+#include "zz/testbed/stub.h"
+
+int layering_bad_anchor() { return 0; }

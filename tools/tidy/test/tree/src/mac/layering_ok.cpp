@@ -1,0 +1,7 @@
+// Negative fixture for zz-layering: mac may include common and zigzag per
+// tools/tidy/layering.dag — the check must stay silent.
+// Compile flags (run_tests.sh): -I tools/tidy/test/tree/include
+#include "zz/common/stub.h"
+#include "zz/zigzag/stub.h"
+
+int layering_ok_anchor() { return 0; }

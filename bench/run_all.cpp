@@ -62,7 +62,7 @@ const char* const kBaselineBenches[] = {
     "fig_5_4_capture",      "fig_5_5_throughput_cdf",
     "fig_5_6_loss_cdf",     "fig_5_7_scatter",
     "fig_5_8_hidden_loss",  "fig_5_9_three_senders",
-    "lemma_4_4_1_ack"};
+    "lemma_4_4_1_ack",      "streaming_pipeline"};
 
 // Every bench's stdout is fully deterministic (sharded RNG, thread-count
 // independent — test-pinned for the sweeps), so --check --baseline diffs
@@ -343,6 +343,66 @@ void check_baseline_comparison(const BenchRun& r, bool quick) {
   }
 }
 
+// streaming_pipeline: the streaming contract and the streaming-route
+// fairness, gated structurally (the exact numbers are drift-gated by the
+// baseline diff like every other deterministic bench):
+//   * every Live-vs-Streaming identity row must read "yes" — the stream
+//     delivering different packets than the offline route is a pipeline
+//     bug, never a tuning choice;
+//   * the latency table must show a bounded per-push work figure and a
+//     nonzero delivery count at every n;
+//   * the streaming-route n-sender sweep must hold Jain fairness >= 0.90
+//     at n = 3 — the gate the live route could not pass before the n-way
+//     matching fixes. (The fair-share RATIO is not gated here: on the
+//     live/streaming route airtime includes idle contention rounds, so
+//     ratio << 1 is the methodology, not a regression — n_sender_sweep's
+//     LoggedJoint rounds are lockstep and carry that gate. n = 4 is
+//     reported but ungated: at quick scale its single run is degenerate.)
+void check_streaming_pipeline(const BenchRun& r, bool quick) {
+  const double fairness_min = quick ? 0.80 : 0.90;
+  std::size_t ident_rows = 0, lat_rows = 0, fair_rows = 0;
+  bool in_fair = false;
+  for (const auto& line : r.stdout_lines) {
+    const auto cells = row_cells(line);
+    if (cells.size() == 6 && cells[1] != "seed" && cells[5] != "loss" &&
+        !in_fair && cells[2] != "fair share") {
+      // | n | seed | live | stream | airtime | identical |
+      ++ident_rows;
+      check(cells[5] == "yes", "streaming_pipeline: n=" + cells[0] +
+                                   " seed=" + cells[1] +
+                                   " stream diverged from live");
+    }
+    if (cells.size() == 7 && cells[1] != "samples") {
+      // | n | samples | windows | delivered | first at | mean lat | max push |
+      ++lat_rows;
+      check(std::strtod(cells[3].c_str(), nullptr) > 0.0,
+            "streaming_pipeline: no deliveries at n=" + cells[0]);
+      check(std::strtod(cells[6].c_str(), nullptr) > 0.0,
+            "streaming_pipeline: missing per-push work pin at n=" + cells[0]);
+    }
+    if (cells.size() == 6 && cells[2] == "fair share") {
+      in_fair = true;
+      continue;
+    }
+    if (in_fair && cells.size() == 6) {
+      char* end = nullptr;
+      const double n = std::strtod(cells[0].c_str(), &end);
+      if (end == cells[0].c_str() || n < 2.0 || n > 4.0) continue;
+      ++fair_rows;
+      if (n == 3.0)
+        check(std::strtod(cells[4].c_str(), nullptr) >= fairness_min,
+              "streaming_pipeline: streaming Jain fairness " + cells[4] +
+                  " below " + std::to_string(fairness_min) + " at n=" + cells[0]);
+    }
+  }
+  check(ident_rows == 6, "streaming_pipeline: expected 6 identity rows, found " +
+                             std::to_string(ident_rows));
+  check(lat_rows == 3, "streaming_pipeline: expected 3 latency rows, found " +
+                           std::to_string(lat_rows));
+  check(fair_rows == 3, "streaming_pipeline: expected 3 fairness rows, found " +
+                            std::to_string(fair_rows));
+}
+
 // Wall-time guard: ~2.5x the recorded cost of each bench at the given
 // scale; a regression to the old O(N·M) correlation path or per-symbol
 // interpolation route trips this. Budgets were tightened to the batched
@@ -360,6 +420,9 @@ void check_wall_time(const BenchRun& r, bool quick, bool full) {
   if (r.name == "fig_5_3_ber") budget_ms = quick ? 4000.0 : 6000.0;
   if (r.name == "n_sender_sweep") budget_ms = quick ? 5000.0 : 22000.0;
   if (r.name == "baseline_comparison") budget_ms = quick ? 10000.0 : 25000.0;
+  // Measured 25 s single-core: every identity row runs its scenario twice
+  // (Live then Streaming), plus the streaming-route sweep.
+  if (r.name == "streaming_pipeline") budget_ms = quick ? 15000.0 : 60000.0;
   if (budget_ms == 0.0) {
     // Folded fig_*/lemma_* benches (measured 0.01-9.1 s single-core).
     // Quick runs quarter the samples, so their budgets scale to 0.4x with
@@ -499,6 +562,7 @@ void run_checks(const std::vector<BenchRun>& runs, const std::string& scale,
     if (r.name == "fig_5_3_ber") check_fig_5_3(r, quick);
     if (r.name == "n_sender_sweep") check_n_sender_sweep(r, quick);
     if (r.name == "baseline_comparison") check_baseline_comparison(r, quick);
+    if (r.name == "streaming_pipeline") check_streaming_pipeline(r, quick);
     check_wall_time(r, quick, full);
     if (have_base) check_drift(r, base);
   }

@@ -1,0 +1,74 @@
+// Re-entry guards — runtime enforcement of "not reentrant; give each
+// thread its own instance" contracts that used to live in comments (e.g.
+// the persistent-correlator state of phy::StandardReceiver::decode).
+//
+//   class Receiver {
+//     mutable ReentryFlag busy_;
+//     void decode(...) const {
+//       ReentryScope guard(busy_, "StandardReceiver::decode");
+//       ...
+//     }
+//   };
+//
+// The scope is ZZ_DCHECK-backed: with ZZ_ENABLE_DCHECKS defined (Debug and
+// sanitizer builds) a second entry — recursive from the same thread or
+// concurrent from another — aborts with the offending site named; in plain
+// Release the guard compiles to nothing, so it can sit on hot decode paths
+// without perturbing the drift-gated benches. The flag itself is a plain
+// atomic and always functional, so callers that want an always-on guard
+// (or a test of the mechanism) can use try_enter()/leave() directly.
+#pragma once
+
+#include <atomic>
+
+#include "zz/common/check.h"
+
+namespace zz {
+
+/// One bit of "a caller is inside" state. Atomic so a concurrent second
+/// entry is detected (not just recursion); relaxed enough to be free on
+/// the fast path.
+class ReentryFlag {
+ public:
+  /// True when the flag was clear and is now held by this caller.
+  bool try_enter() noexcept {
+    return !busy_.exchange(true, std::memory_order_acquire);
+  }
+  void leave() noexcept { busy_.store(false, std::memory_order_release); }
+  bool busy() const noexcept {
+    return busy_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> busy_{false};
+};
+
+/// RAII contract scope: entering while another scope holds `flag` is a
+/// fatal contract violation when DCHECKs are compiled in, a no-op
+/// otherwise.
+class ReentryScope {
+ public:
+  ReentryScope(ReentryFlag& flag, const char* what) noexcept : flag_(flag) {
+#ifdef ZZ_ENABLE_DCHECKS
+    ZZ_CHECK(flag_.try_enter())
+        << " — " << what
+        << " re-entered while a prior call is still active; the persistent "
+           "scratch state is single-caller (give each thread its own "
+           "instance)";
+#else
+    (void)what;
+#endif
+  }
+  ~ReentryScope() {
+#ifdef ZZ_ENABLE_DCHECKS
+    flag_.leave();
+#endif
+  }
+  ReentryScope(const ReentryScope&) = delete;
+  ReentryScope& operator=(const ReentryScope&) = delete;
+
+ private:
+  [[maybe_unused]] ReentryFlag& flag_;
+};
+
+}  // namespace zz

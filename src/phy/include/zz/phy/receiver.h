@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "zz/common/reentry.h"
 #include "zz/common/types.h"
 #include "zz/phy/frame.h"
 #include "zz/phy/preamble.h"
@@ -118,8 +119,11 @@ class StandardReceiver {
   /// object, its block buffers and the output vector persist). Makes
   /// decode() non-reentrant on a shared instance — give each thread its
   /// own StandardReceiver, the same contract as SlidingCorrelator itself.
+  /// Enforced by the ReentryScope in decode() (fatal under ZZ_DCHECKS),
+  /// not just this comment.
   mutable std::unique_ptr<sig::SlidingCorrelator> scan_;
   mutable CVec scan_corr_;
+  mutable ReentryFlag scan_busy_;
 };
 
 }  // namespace zz::phy

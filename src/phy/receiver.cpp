@@ -94,6 +94,10 @@ double StandardReceiver::detection_threshold(double snr_linear,
 
 PacketDecode StandardReceiver::decode(const CVec& rx,
                                       const SenderProfile* profile) const {
+  // The persistent scan engine below is single-caller state; a recursive
+  // or cross-thread second entry would silently corrupt the prepared
+  // stream transforms mid-scan (receiver.h documents the contract).
+  const ReentryScope guard(scan_busy_, "StandardReceiver::decode");
   const double coarse = profile ? profile->freq_offset : 0.0;
   // Full-buffer preamble scan through the persistent SlidingCorrelator
   // engine (same routing as sig::sliding_correlation, so the numbers are

@@ -1,0 +1,63 @@
+// Ring-buffer sample ingest — the front end of the streaming receiver
+// pipeline (ROADMAP "sample-in → packet-out").
+//
+// A real AP sees an unbounded sample stream; only a bounded window of it
+// (the open reception plus a little slack) ever needs to stay resident.
+// SampleRing addresses samples by their absolute 64-bit stream position, so
+// the layers above it (frame tracker, streaming correlator, window decode)
+// reason in stream positions and never see wrap-around: the ring grows to
+// the largest window it is asked to retain and then stays at that
+// capacity, making per-push work O(1) in stream length.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "zz/common/types.h"
+
+namespace zz::sig {
+
+/// Power-of-two ring over complex baseband samples, indexed by absolute
+/// stream position. Retained range is [begin_pos, end_pos); push() appends
+/// at end_pos, drop_before() releases the front. Not thread-safe.
+class SampleRing {
+ public:
+  explicit SampleRing(std::size_t min_capacity = 1024);
+
+  std::uint64_t begin_pos() const { return begin_; }
+  std::uint64_t end_pos() const { return end_; }
+  std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Append `count` samples at end_pos(); grows (power-of-two) when the
+  /// retained range would not fit.
+  void push(const cplx* data, std::size_t count);
+  void push(const CVec& samples) { push(samples.data(), samples.size()); }
+
+  /// Release retained samples with position < pos (clamped to the retained
+  /// range). Positions are never reused: begin/end keep counting.
+  void drop_before(std::uint64_t pos);
+
+  /// Sample at absolute position `pos`; must lie in [begin_pos, end_pos).
+  const cplx& at(std::uint64_t pos) const;
+
+  /// Copy [first, last) into `out` (resized to last - first). The range
+  /// must be retained.
+  void copy_range(std::uint64_t first, std::uint64_t last, CVec& out) const;
+
+  /// Forget everything including positions (back to an empty stream at 0).
+  void reset();
+
+ private:
+  void grow(std::size_t need);
+  std::size_t slot(std::uint64_t pos) const {
+    return static_cast<std::size_t>(pos) & (buf_.size() - 1);
+  }
+
+  CVec buf_;  ///< power-of-two storage; slot = pos & (capacity - 1)
+  std::uint64_t begin_ = 0;
+  std::uint64_t end_ = 0;
+};
+
+}  // namespace zz::sig

@@ -1,0 +1,72 @@
+#include "zz/signal/ring.h"
+
+#include <algorithm>
+
+#include "zz/common/check.h"
+#include "zz/signal/fft.h"
+
+namespace zz::sig {
+
+SampleRing::SampleRing(std::size_t min_capacity) {
+  buf_.assign(Fft::next_pow2(std::max<std::size_t>(min_capacity, 2)),
+              cplx{0.0, 0.0});
+}
+
+void SampleRing::grow(std::size_t need) {
+  CVec bigger(Fft::next_pow2(std::max(need, 2 * buf_.size())),
+              cplx{0.0, 0.0});
+  const std::size_t mask = bigger.size() - 1;
+  for (std::uint64_t p = begin_; p != end_; ++p)
+    bigger[static_cast<std::size_t>(p) & mask] = buf_[slot(p)];
+  buf_.swap(bigger);
+}
+
+void SampleRing::push(const cplx* data, std::size_t count) {
+  if (size() + count > buf_.size()) grow(size() + count);
+  std::size_t done = 0;
+  while (done < count) {
+    const std::size_t s = slot(end_);
+    const std::size_t run = std::min(count - done, buf_.size() - s);
+    std::copy(data + done, data + done + run,
+              buf_.begin() + static_cast<std::ptrdiff_t>(s));
+    done += run;
+    end_ += run;
+  }
+}
+
+void SampleRing::drop_before(std::uint64_t pos) {
+  begin_ = std::min(std::max(begin_, pos), end_);
+}
+
+const cplx& SampleRing::at(std::uint64_t pos) const {
+  ZZ_DCHECK_GE(pos, begin_);
+  ZZ_DCHECK_LT(pos, end_);
+  return buf_[slot(pos)];
+}
+
+void SampleRing::copy_range(std::uint64_t first, std::uint64_t last,
+                            CVec& out) const {
+  ZZ_CHECK_LE(first, last);
+  ZZ_CHECK_GE(first, begin_) << " — range already dropped";
+  ZZ_CHECK_LE(last, end_) << " — range not yet pushed";
+  out.resize(static_cast<std::size_t>(last - first));
+  std::size_t done = 0;
+  std::uint64_t p = first;
+  while (p != last) {
+    const std::size_t s = slot(p);
+    const std::size_t run = std::min(static_cast<std::size_t>(last - p),
+                                     buf_.size() - s);
+    std::copy(buf_.begin() + static_cast<std::ptrdiff_t>(s),
+              buf_.begin() + static_cast<std::ptrdiff_t>(s + run),
+              out.begin() + static_cast<std::ptrdiff_t>(done));
+    done += run;
+    p += run;
+  }
+}
+
+void SampleRing::reset() {
+  begin_ = 0;
+  end_ = 0;
+}
+
+}  // namespace zz::sig

@@ -50,7 +50,15 @@ struct SenderSpec {
 ///    (up to a sync error). ZigZag receivers store collided slots and
 ///    joint-decode them once a matching retransmission slot arrives;
 ///    Current80211 is plain slotted ALOHA (collisions lost unless capture).
-enum class CollectMode { Live, LoggedJoint, SlottedAloha };
+///  * Streaming: the Live contention loop, but the AP is the incremental
+///    sample-in → packet-out pipeline (zigzag::StreamingReceiver): every
+///    reception is pushed through the stream in fixed chunks separated by
+///    silence gaps, framed online, and decoded as soon as its window
+///    closes. Draw-for-draw identical RNG consumption to Live, and — by
+///    the gated streaming contract — bit-identical delivered packets, so
+///    ScenarioStats flows match Live exactly; the stream_* fields add the
+///    latency accounting. ZigZag receiver kind only.
+enum class CollectMode { Live, LoggedJoint, SlottedAloha, Streaming };
 
 /// Decoder tuning for n-way (3+) joint decodes: best-first chunk
 /// scheduling plus a second refinement pass. Measurably fewer decode
@@ -92,6 +100,20 @@ struct ScenarioStats {
   /// regime; equals flows[i].throughput in LoggedJoint mode where every
   /// round is contended).
   std::vector<double> concurrent_throughput;
+
+  /// CollectMode::Streaming only (zeros elsewhere): latency accounting of
+  /// the streaming pipeline, in stream samples. Deterministic at a fixed
+  /// seed, so benches drift-gate these alongside the throughput numbers.
+  std::uint64_t stream_samples = 0;      ///< total samples pushed
+  std::uint64_t stream_windows = 0;      ///< reception windows decoded
+  std::uint64_t stream_deliveries = 0;   ///< packets out of the stream
+  std::uint64_t first_delivery_pos = 0;  ///< decoded_at of first delivery
+  /// Mean decoded_at − window_begin over deliveries: how long after a
+  /// reception began its packets were out (window length + silence hang —
+  /// versus "end of log" for the offline routes).
+  double mean_decode_latency = 0.0;
+  std::size_t stream_max_push_work = 0;  ///< bounded-per-push pin
+  std::size_t stream_max_retained = 0;   ///< peak ring occupancy
 
   double total_throughput() const;
   /// Jain's fairness index over per-flow throughput: 1 = perfectly fair,

@@ -92,7 +92,23 @@ std::vector<Detection> CollisionDetector::detect(
     if (!merged) positions.push_back(c.pos);
   }
 
+  // Power-step statistic for the optional gate: mean |rx|² over one
+  // reference length after the candidate minus the same before it. A true
+  // start adds the new sender's |h|²; an in-packet excursion adds nothing.
+  const std::size_t step_win = corr.reference().size();
+  const auto mean_power = [&](std::size_t lo, std::size_t hi) {
+    if (hi <= lo) return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) acc += std::norm(rx[i]);
+    return acc / static_cast<double>(hi - lo);
+  };
+
   for (const std::size_t pk : positions) {
+    const double power_step =
+        cfg_.power_step_gate > 0.0
+            ? mean_power(pk, std::min(pk + step_win, rx.size())) -
+                  mean_power(pk > step_win ? pk - step_win : 0, pk)
+            : 0.0;
     // Slope-based offset measurement (client-agnostic).
     const auto probe = phy::estimate_at_peak(rx, pk, 0.0, cfg_.preamble_len);
 
@@ -114,15 +130,25 @@ std::vector<Detection> CollisionDetector::detect(
     for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
       const double h2 =
           db_to_lin(profiles[pi].snr_db) * std::max(noise, 1e-12);
+      // Power-step gate: this client could only have started here if the
+      // received power rose by (a good fraction of) its |h|².
+      if (cfg_.power_step_gate > 0.0 &&
+          power_step < cfg_.power_step_gate * h2) {
+        cons[pi] = 0.0;
+        continue;
+      }
       const double rho =
           probe.metric / (eref * std::sqrt(std::max(h2, 1e-12)));
       cons[pi] = rho > 1.0 ? 1.0 / rho : rho;
       best_cons = std::max(best_cons, cons[pi]);
     }
+    // Every client gated out on the power step: the spike rides on power
+    // that was already flowing — an in-packet excursion, not a start.
+    if (cfg_.power_step_gate > 0.0 && best_cons == 0.0) continue;
     int best = -1;
     double best_d = 1e9;
     for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
-      if (cons[pi] < 0.8 * best_cons) continue;  // implausible power class
+      if (cons[pi] <= 0.0 || cons[pi] < 0.8 * best_cons) continue;
       const double d = std::abs(probe.freq_offset - profiles[pi].freq_offset);
       if (d < best_d) {
         best_d = d;

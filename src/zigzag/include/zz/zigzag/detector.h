@@ -69,6 +69,22 @@ struct DetectorConfig {
   /// decoder set a tighter cap to bound phantom-triage work
   /// (zigzag::ReceiverOptions does).
   std::size_t max_detections = 16;
+  /// Power-step gate (off at 0). A true packet start is a transmitter
+  /// turning ON: mean received power across the candidate rises by that
+  /// sender's |h|², while a data cross-correlation excursion rides on
+  /// power that is already flowing — requiring
+  ///     mean|rx|²(after) − mean|rx|²(before) ≥ gate · ĥ_c²
+  /// for a client-c start prunes excursions at the source, per client
+  /// hypothesis, so a strong sender cannot vouch for a weak one's phantom.
+  /// Measured on the §5.1 waveforms the two distributions OVERLAP at the
+  /// n = 3 operating point (true-start step/ĥ² q10 ≈ 0.68 against phantom
+  /// step noise of ± 0.5ĥ² over 64-sample windows): a gate tight enough to
+  /// prune most phantoms also drops a meaningful tail of Rayleigh-faded
+  /// true starts, which no later stage can recover. The live n > 2 path
+  /// therefore leaves this off and triages phantoms downstream, where a
+  /// false positive IS recoverable (ZigZagReceiver's §4.5.1 alias collapse
+  /// and provenance gating). Kept as a measurement/diagnostic knob.
+  double power_step_gate = 0.0;
 };
 
 class CollisionDetector {

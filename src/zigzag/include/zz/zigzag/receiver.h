@@ -33,6 +33,18 @@ struct ReceiverOptions {
   /// phantom-triage work with a tighter cap per reception.
   ReceiverOptions() { detector.max_detections = 6; }
 
+  /// Options tuned for an AP serving `n` associated clients. Reduces to
+  /// the stock defaults at n ≤ 2 (the pinned pair configuration), so the
+  /// historical two-sender pipelines are reproduced exactly. For n > 2 it
+  /// widens the knobs the n-way live path needs: best-first chunk order,
+  /// an n-aware §4.2.2 match threshold (the same-packet correlation of one
+  /// client among n equal-power overlaps normalizes to ≈ 1/n, so the pair
+  /// threshold rejects true matches), and the detector's measurement-sized
+  /// cap (n-way overlaps throw many data excursions over β; evicting a
+  /// faded true start is unrecoverable, while surplus phantoms are triaged
+  /// downstream by the alias collapse and provenance gates).
+  static ReceiverOptions for_clients(std::size_t n);
+
   DecodeOptions decode{};
   DetectorConfig detector{};
   MatchConfig match{};
@@ -44,6 +56,18 @@ struct ReceiverOptions {
   /// n resolve n senders (§4.5). The default keeps the historical
   /// pair-then-triple behavior; n-sender scenarios raise it to n.
   std::size_t max_joint_receptions = 3;
+  /// n-way joint triage (§4.5). When set, the receiver (a) collapses
+  /// constant-offset phantom aliases before counting unknowns (a data
+  /// excursion tracks its host packet at one fixed Δ in every reception —
+  /// Assertion 4.5.1's degenerate pattern), and (b) refuses to accept a
+  /// joint decode whose cross-reception unknown count exceeds its equation
+  /// count, storing the reception and widening instead. Off by default:
+  /// the historical pair pipelines greedily accept any matched joint
+  /// output and their baselines pin that exact decision sequence.
+  /// for_clients(n > 2) turns it on — an n-way collision decoded at pair
+  /// width is partial junk whose acceptance destroys the very equations
+  /// the widening step needs.
+  bool strict_joint = false;
 };
 
 /// One packet handed up the stack.
@@ -97,10 +121,14 @@ class ZigZagReceiver {
   /// Jointly decode `olds` (stored receptions, oldest first) plus the new
   /// reception. Packets are unified across receptions by data correlation
   /// (§4.2.2). Two receptions resolve a pair of senders; three resolve a
-  /// triple (§4.5).
+  /// triple (§4.5). `*unknowns` reports how many distinct packets the
+  /// unification registered — when it exceeds the reception count the
+  /// system is underdetermined (§4.5) and the caller should widen rather
+  /// than accept the partial output.
   std::vector<Delivered> try_joint(
       const std::vector<const PendingCollision*>& olds, const CVec& rx,
-      const std::vector<Detection>& dets, bool* matched);
+      const std::vector<Detection>& dets, bool* matched,
+      std::size_t* unknowns);
   void remember(const CVec& rx, std::vector<Detection> dets);
   bool fresh(const phy::FrameHeader& h);
 

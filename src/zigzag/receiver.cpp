@@ -1,6 +1,7 @@
 #include "zz/zigzag/receiver.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "zz/chan/channel.h"
 
@@ -20,6 +21,31 @@ CollisionInput make_input(const CVec& samples,
 }
 
 }  // namespace
+
+ReceiverOptions ReceiverOptions::for_clients(std::size_t n) {
+  ReceiverOptions opt;
+  opt.max_pending = std::max<std::size_t>(4, n + 1);
+  opt.max_joint_receptions = std::max<std::size_t>(3, n);
+  if (n > 2) {
+    opt.decode.chunk_order = ChunkOrder::BestFirst;
+    opt.strict_joint = true;
+    // §4.2.2 at n-way overlap: |<s1,s2>|/√(E1·E2) of one client's copies
+    // normalizes to ≈ p_c ≈ 1/n of each segment's energy, so the pair
+    // threshold (0.30) sits inside the true-match distribution at n = 3
+    // (measured q25 ≈ 0.30) while unrelated packets decorrelate to ≲ 0.12
+    // over the 512-sample span. 0.6/n tracks the 1/n scaling with 2×
+    // headroom above decorrelation noise.
+    opt.match.threshold =
+        std::min(opt.match.threshold, 0.6 / static_cast<double>(n));
+    // n-way overlaps push many data excursions over β, and the
+    // cons-ranked eviction under the pair cap (6) throws away faded true
+    // starts — which no later stage can recover. Keep the detector's
+    // measurement-sized cap and let the decoder-side phantom triage
+    // (alias collapse, provenance gate) absorb the surplus.
+    opt.detector.max_detections = 32;
+  }
+  return opt;
+}
 
 ZigZagReceiver::ZigZagReceiver(ReceiverOptions opt)
     : opt_(std::move(opt)), matcher_(opt_.match) {}
@@ -63,8 +89,10 @@ std::vector<Delivered> ZigZagReceiver::try_single(
 
 std::vector<Delivered> ZigZagReceiver::try_joint(
     const std::vector<const PendingCollision*>& olds, const CVec& rx,
-    const std::vector<Detection>& dets, bool* matched) {
+    const std::vector<Detection>& dets, bool* matched,
+    std::size_t* unknowns) {
   *matched = false;
+  *unknowns = 0;
 
   // Register packets across all receptions, unifying copies by data
   // correlation (§4.2.2) against the reception where each packet was first
@@ -116,6 +144,92 @@ std::vector<Delivered> ZigZagReceiver::try_joint(
 
   if (matches == 0) return {};
   *matched = true;
+
+  // Alias collapse (Assertion 4.5.1 in reverse). A phantom detection is a
+  // data excursion riding a real packet, so its copies track that packet's
+  // copies at one CONSTANT relative offset in every reception — exactly
+  // the degenerate "same Δ in every collision" pattern §4.5 proves
+  // unresolvable, because it is not a second transmitter at all. Collapse
+  // any unknown pair locked at a constant offset across ≥2 receptions into
+  // the earlier-origin one: the excursion correlates with data that only
+  // exists AFTER the true start, so the earliest alias is the start. (Two
+  // genuinely distinct packets stuck at one offset are unresolvable anyway
+  // — §4.5 — so collapsing them loses nothing decodable.)
+  if (opt_.strict_joint) {
+    constexpr std::ptrdiff_t kNotPlaced = PTRDIFF_MIN;
+    std::vector<std::vector<std::ptrdiff_t>> origin(
+        registry.size(),
+        std::vector<std::ptrdiff_t>(inputs.size(), kNotPlaced));
+    for (std::size_t c = 0; c < inputs.size(); ++c)
+      for (const auto& pl : inputs[c].placements)
+        origin[pl.packet][c] = pl.detection.origin;
+
+    std::vector<std::size_t> alias(registry.size());
+    for (std::size_t i = 0; i < alias.size(); ++i) alias[i] = i;
+    const auto root_of = [&](std::size_t i) {
+      while (alias[i] != i) i = alias[i];
+      return i;
+    };
+    for (std::size_t a = 0; a < registry.size(); ++a) {
+      for (std::size_t b = a + 1; b < registry.size(); ++b) {
+        std::ptrdiff_t lo = 0, hi = 0;
+        std::size_t both = 0;
+        for (std::size_t c = 0; c < inputs.size(); ++c) {
+          if (origin[a][c] == kNotPlaced || origin[b][c] == kNotPlaced)
+            continue;
+          const std::ptrdiff_t d = origin[b][c] - origin[a][c];
+          if (both == 0) lo = hi = d;
+          lo = std::min(lo, d);
+          hi = std::max(hi, d);
+          ++both;
+        }
+        if (both < 2 || hi - lo > 2) continue;  // offsets move: distinct
+        // Locked pair: fold the later-origin unknown into the earlier.
+        const std::size_t ra = root_of(a), rb = root_of(b);
+        if (ra == rb) continue;
+        if (lo + hi >= 0)  // b starts after a: b is the excursion
+          alias[rb] = ra;
+        else
+          alias[ra] = rb;
+      }
+    }
+    bool any_alias = false;
+    for (std::size_t i = 0; i < alias.size(); ++i)
+      if (root_of(i) != i) any_alias = true;
+    if (any_alias) {
+      // Compact ids: aliased unknowns vanish, survivors renumber densely.
+      std::vector<std::size_t> renum(registry.size());
+      std::size_t next = 0;
+      for (std::size_t i = 0; i < registry.size(); ++i)
+        if (root_of(i) == i) renum[i] = next++;
+      for (auto& in : inputs) {
+        std::vector<CollisionInput::Placement> kept;
+        // The root's own placement wins; an alias never substitutes for it
+        // (its origin points into the packet's data, past the true start).
+        for (const auto& pl : in.placements)
+          if (root_of(pl.packet) == pl.packet) kept.push_back(pl);
+        in.placements = std::move(kept);
+        for (auto& pl : in.placements) pl.packet = renum[pl.packet];
+      }
+      std::vector<Anchor> survivors;
+      for (std::size_t i = 0; i < registry.size(); ++i)
+        if (root_of(i) == i) survivors.push_back(registry[i]);
+      registry = std::move(survivors);
+    }
+  }
+  // Decidability count (§4.5): only packets placed in two or more
+  // receptions participate in the joint system — a singleton (one stray
+  // detection that matched nothing) contributes no cross-reception
+  // equation and cannot be separated by widening either, so it must not
+  // make a solvable pair look underdetermined. The decoder still sees the
+  // singleton's placement (its signal is real interference); it just does
+  // not count against the equation budget.
+  std::vector<std::size_t> copies(registry.size(), 0);
+  for (const auto& in : inputs)
+    for (const auto& pl : in.placements) ++copies[pl.packet];
+  *unknowns = 0;
+  for (const std::size_t c : copies)
+    if (c >= 2) ++*unknowns;
 
   const ZigZagDecoder dec(opt_.decode, opt_.rx);
   const auto res = dec.decode({inputs.data(), inputs.size()}, clients_,
@@ -193,11 +307,24 @@ std::vector<Delivered> ZigZagReceiver::receive(const CVec& rx) {
       return d.crc_ok || !d.air_bits.empty();
     });
   };
+  // Accepting a joint result consumes the stored receptions under it, so
+  // an *underdetermined* decode (§4.5: fewer receptions than distinct
+  // packets — e.g. a pair attempt on a 3-way collision) must not be
+  // accepted: its output is partial junk and accepting it destroys the
+  // very equations the widening step needs. A joint attempt is decisive
+  // when its equation count covers the (cross-reception) unknowns or
+  // widening is already at its cap; otherwise the reception is stored and
+  // the decode waits for more equations.
+  const auto decisive = [&](std::size_t receptions, std::size_t unknowns) {
+    if (!opt_.strict_joint) return true;  // historical greedy accept (pinned)
+    return receptions >= unknowns || receptions >= opt_.max_joint_receptions;
+  };
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     bool matched = false;
-    auto joint_out = try_joint({&pending_[i]}, rx, dets, &matched);
+    std::size_t unknowns = 0;
+    auto joint_out = try_joint({&pending_[i]}, rx, dets, &matched, &unknowns);
     if (!matched) continue;
-    if (useful_fn(joint_out)) {
+    if (decisive(2, unknowns) && useful_fn(joint_out)) {
       out.insert(out.end(), joint_out.begin(), joint_out.end());
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
       return out;
@@ -208,8 +335,10 @@ std::vector<Delivered> ZigZagReceiver::receive(const CVec& rx) {
          ++j) {
       olds.push_back(&pending_[j]);
       bool matched_n = false;
-      auto wide_out = try_joint(olds, rx, dets, &matched_n);
-      if (matched_n && useful_fn(wide_out)) {
+      std::size_t unknowns_n = 0;
+      auto wide_out = try_joint(olds, rx, dets, &matched_n, &unknowns_n);
+      if (matched_n && decisive(olds.size() + 1, unknowns_n) &&
+          useful_fn(wide_out)) {
         out.insert(out.end(), wide_out.begin(), wide_out.end());
         for (std::size_t k = j + 1; k-- > i + 1;)  // erase back-to-front
           pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(k));
@@ -217,7 +346,7 @@ std::vector<Delivered> ZigZagReceiver::receive(const CVec& rx) {
         return out;
       }
     }
-    break;  // matched but undecodable (e.g. identical offsets): store below
+    break;  // matched but not yet decodable: store below, wait for equations
   }
 
   remember(rx, dets);

@@ -8,11 +8,16 @@
 
 #include <string>
 
+#include "zz/common/reentry.h"
+
 #ifndef ZZ_ENABLE_DCHECKS
 #error "check_test.cpp must be compiled with ZZ_ENABLE_DCHECKS=1"
 #endif
 
 namespace {
+
+using zz::ReentryFlag;
+using zz::ReentryScope;
 
 int g_evals = 0;
 int counted(int v) {
@@ -90,6 +95,42 @@ TEST(CheckDeathTest, StringOperandsRender) {
 TEST(CheckDeathTest, DchecksAreFatalWhenCompiledIn) {
   EXPECT_DEATH(ZZ_DCHECK(false) << "dcheck on", "dcheck on");
   EXPECT_DEATH(ZZ_DCHECK_GE(1, 2), "ZZ_DCHECK_GE|ZZ_CHECK_GE");
+}
+
+// ReentryFlag / ReentryScope back the non-reentrancy contracts of the
+// stateful receivers (StandardReceiver::decode, StreamingReceiver::push).
+// This TU compiles with ZZ_ENABLE_DCHECKS forced on, so the scope is armed.
+
+TEST(Reentry, FlagTracksEnterAndLeave) {
+  ReentryFlag flag;
+  EXPECT_FALSE(flag.busy());
+  EXPECT_TRUE(flag.try_enter());
+  EXPECT_TRUE(flag.busy());
+  EXPECT_FALSE(flag.try_enter());  // second entry refused while held
+  flag.leave();
+  EXPECT_FALSE(flag.busy());
+  EXPECT_TRUE(flag.try_enter());  // reusable after leave
+  flag.leave();
+}
+
+TEST(Reentry, ScopeReleasesOnExit) {
+  ReentryFlag flag;
+  {
+    const ReentryScope scope(flag, "guarded call");
+    EXPECT_TRUE(flag.busy());
+  }
+  EXPECT_FALSE(flag.busy());
+  {
+    const ReentryScope again(flag, "guarded call");  // sequential calls fine
+    EXPECT_TRUE(flag.busy());
+  }
+}
+
+TEST(CheckDeathTest, ReentryScopeIsFatalOnNestedEntry) {
+  ReentryFlag flag;
+  const ReentryScope outer(flag, "Receiver::decode");
+  EXPECT_DEATH(ReentryScope inner(flag, "Receiver::decode"),
+               "Receiver::decode re-entered");
 }
 
 }  // namespace

@@ -1,0 +1,183 @@
+// AP-farm throughput engine (zz/farm/farm.h): multi-cell scale-out at
+// saturation. The headline bench for the farm module: N independent AP
+// cells — each an endless stream of collision episodes — multiplexed over
+// the work-stealing pool, reported as sustained packets/sec and
+// collisions-resolved/sec at 1..4 workers with scaling efficiency.
+//
+// Output discipline: every table is deterministic (sharded RNG, worker-
+// count independent — the farm_test pins it) and drift-gated verbatim by
+// run_all --check. Timing lines carry a "perf:" prefix; the drift diff
+// skips them (wall clock is machine-dependent), but --check still parses
+// them for the throughput floor and the scaling-efficiency gate (the
+// latter only on hardware with >= 4 cores — the perf summary reports the
+// core count so the gate can tell).
+//
+// Four sections:
+//  * farm grid: per-cell aggregates of the saturation run (drift-gated);
+//  * determinism: the same farm at 2/4/8 workers vs 1, bit-identical
+//    ("yes" rows, gated);
+//  * soak: distinct_seeds cycling with the episode memo — the warmup run
+//    computes and allocates, every steady-state run must serve all
+//    episodes from the memo with ZERO allocations (gated), and the
+//    decode-cache totals must freeze;
+//  * perf: sustained episodes/s, packets/s, resolved/s per worker count
+//    plus scaling efficiency (floor- and efficiency-gated, drift-skipped).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "zz/common/table.h"
+#include "zz/farm/farm.h"
+#include "zz/testbed/scenario.h"
+
+namespace {
+
+using namespace zz;
+
+farm::CellSpec make_cell(double snr_db, std::size_t packets,
+                         testbed::CollectMode mode) {
+  farm::CellSpec cell;
+  cell.scenario =
+      testbed::hidden_n_scenario(2, snr_db, testbed::ReceiverKind::ZigZag);
+  cell.scenario.mode = mode;
+  cell.scenario.cfg.packets_per_sender = packets;
+  cell.scenario.cfg.payload_bytes = 160;
+  return cell;
+}
+
+/// The bench farm: four heterogeneous cells (SNR, backlog, collection
+/// route) so a merge bug cannot cancel out across cells.
+std::vector<farm::CellSpec> bench_farm() {
+  return {make_cell(12.0, 2, testbed::CollectMode::Live),
+          make_cell(11.0, 3, testbed::CollectMode::Live),
+          make_cell(10.0, 2, testbed::CollectMode::Streaming),
+          make_cell(11.5, 2, testbed::CollectMode::Streaming)};
+}
+
+bool farms_equal(const farm::FarmResult& a, const farm::FarmResult& b) {
+  if (a.cells.size() != b.cells.size() || a.episodes != b.episodes ||
+      a.rounds != b.rounds || a.delivered != b.delivered ||
+      a.collisions_resolved != b.collisions_resolved)
+    return false;
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    const auto& x = a.cells[c];
+    const auto& y = b.cells[c];
+    if (x.rounds != y.rounds || x.delivered != y.delivered ||
+        x.collisions_resolved != y.collisions_resolved ||
+        x.latency_sum != y.latency_sum ||
+        x.per_flow_delivered != y.per_flow_delivered)
+      return false;
+  }
+  return true;
+}
+
+const char* mode_name(testbed::CollectMode m) {
+  return m == testbed::CollectMode::Streaming ? "streaming" : "live";
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t episodes = bench::scaled(4);
+  constexpr std::uint64_t kSeed = 7;
+
+  // ---- Farm grid: the saturation run everything below reuses.
+  const auto cells = bench_farm();
+  farm::FarmOptions opt;
+  opt.seed = kSeed;
+  opt.workers = 1;
+  farm::ApFarm reference(cells, opt);
+  const auto t0 = std::chrono::steady_clock::now();
+  const farm::FarmResult ref = reference.run(episodes);
+  const double ref_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  Table grid({"cell", "mode", "episodes", "rounds", "delivered", "resolved",
+              "tput"});
+  for (std::size_t c = 0; c < ref.cells.size(); ++c) {
+    const auto& r = ref.cells[c];
+    grid.add_row({std::to_string(c), mode_name(cells[c].scenario.mode),
+                  std::to_string(r.episodes), std::to_string(r.rounds),
+                  std::to_string(r.delivered),
+                  std::to_string(r.collisions_resolved),
+                  Table::num(r.throughput(), 4)});
+  }
+  grid.add_row({"all", "-", std::to_string(ref.episodes),
+                std::to_string(ref.rounds), std::to_string(ref.delivered),
+                std::to_string(ref.collisions_resolved),
+                Table::num(ref.throughput(), 4)});
+  grid.print("AP-farm grid: per-cell saturation aggregates");
+
+  // ---- Determinism: worker count must be invisible in the result.
+  Table det({"workers", "identical"});
+  std::vector<std::pair<std::size_t, double>> perf;
+  perf.push_back({1, ref_ms});
+  for (const std::size_t w : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    farm::FarmOptions o = opt;
+    o.workers = w;
+    farm::ApFarm f(cells, o);
+    const auto w0 = std::chrono::steady_clock::now();
+    const farm::FarmResult r = f.run(episodes);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - w0)
+                          .count();
+    if (w <= 4) perf.push_back({w, ms});
+    det.add_row({std::to_string(w), farms_equal(r, ref) ? "yes" : "NO"});
+  }
+  det.print("\ndeterminism: merged result at 2/4/8 workers vs 1 worker");
+
+  // ---- Soak: distinct-seed cycling with the episode memo. Run 0 warms
+  // (computes, allocates, fills the memo); later runs must be pure memo
+  // replay — zero allocations inside episode processing, zero misses, and
+  // frozen decode-cache totals.
+  farm::FarmOptions soak = opt;
+  soak.workers = 2;
+  soak.distinct_seeds = 2;
+  farm::ApFarm soak_farm(cells, soak);
+  Table soak_tbl({"run", "episodes", "allocs", "memo hits", "memo misses",
+                  "cache entries"});
+  for (int run = 0; run < 3; ++run) {
+    const farm::FarmResult r = soak_farm.run(episodes);
+    soak_tbl.add_row({run == 0 ? "warmup" : "steady-" + std::to_string(run),
+                      std::to_string(r.episodes),
+                      std::to_string(r.episode_allocs),
+                      std::to_string(r.memo_hits),
+                      std::to_string(r.memo_misses),
+                      std::to_string(r.decode_cache_entries)});
+  }
+  soak_tbl.print("\nsoak: episode-memo replay (steady state must not allocate)");
+
+  // ---- Perf: machine-dependent, "perf:"-prefixed so the drift diff skips
+  // these lines while --check parses the floors. Efficiency is relative to
+  // the 1-worker run of the SAME grid (same episodes, same seeds).
+  std::printf("\n");
+  const double base_eps = ref_ms > 0.0
+                              ? 1000.0 * static_cast<double>(ref.episodes) /
+                                    ref_ms
+                              : 0.0;
+  for (const auto& [w, ms] : perf) {
+    const double scale = ms > 0.0 ? 1000.0 / ms : 0.0;
+    std::printf(
+        "perf: workers=%zu wall_ms=%.0f episodes/s=%.2f pkts/s=%.1f "
+        "resolved/s=%.1f eff=%.3f\n",
+        w, ms, static_cast<double>(ref.episodes) * scale,
+        static_cast<double>(ref.delivered) * scale,
+        static_cast<double>(ref.collisions_resolved) * scale,
+        ms > 0.0 && base_eps > 0.0
+            ? (static_cast<double>(ref.episodes) * scale) /
+                  (static_cast<double>(w) * base_eps)
+            : 0.0);
+  }
+  std::printf("perf: hw_cores=%u\n", std::thread::hardware_concurrency());
+
+  std::printf(
+      "\nOne farm, any worker count, one result: the grid above is "
+      "bit-identical from\n1 to 8 workers, and the soak steady state "
+      "replays every episode without touching\nthe heap.\n");
+  return 0;
+}

@@ -76,13 +76,15 @@ run_sanitizer_leg() {  # $1 = asan|tsan
   "./$build_dir/bench/run_all" --check \
     --only "$SAN_BENCHES" --wall-scale "$SAN_WALL_SCALE" \
     --out "$build_dir/BENCH_sanitize.json"
-  # Streaming route under sanitizers: the sample-in → packet-out pipeline
-  # (ring ingest, online framing, chunk decode) is exactly the kind of
-  # stateful buffer code sanitizers exist for, but at default scale it is
-  # too heavy for 2-10x instrumentation — run it at --quick scale in its
-  # own invocation (one run_all run carries one scale).
+  # Streaming route and AP farm under sanitizers: the sample-in →
+  # packet-out pipeline (ring ingest, online framing, chunk decode) and
+  # the farm's concurrent machinery (work-stealing shards, per-worker
+  # caches, the episode-memo CAS protocol) are exactly the kind of
+  # stateful/racy code sanitizers exist for, but at default scale they
+  # are too heavy for 2-10x instrumentation — run them at --quick scale
+  # in their own invocation (one run_all run carries one scale).
   "./$build_dir/bench/run_all" --quick --check \
-    --only streaming_pipeline --wall-scale "$SAN_WALL_SCALE" \
+    --only streaming_pipeline,ap_farm --wall-scale "$SAN_WALL_SCALE" \
     --out "$build_dir/BENCH_sanitize_streaming.json"
   echo "ci.sh: $leg leg green ($build_dir)"
 }

@@ -36,6 +36,23 @@ class ThreadPool {
   /// thrown by any task is rethrown here after the batch drains.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Work-stealing variant for heterogeneous task costs (the AP-farm
+  /// episode queue): the index space is pre-partitioned into one
+  /// contiguous block per worker; each worker drains its own block
+  /// front-to-back and, when out of work, steals the back half of the
+  /// largest remaining block (or the lone remaining index). fn(i, worker)
+  /// runs every i in [0, n) exactly once; `worker` is a stable queue id in
+  /// [0, min(size(), n)) that is never inside fn on two threads at once,
+  /// so callers key per-worker state (scratch arenas, cache shards) by it.
+  /// Scheduling — and therefore which worker id an index lands on — is
+  /// nondeterministic; bit-identical results at any pool size remain the
+  /// caller's contract (per-index RNG shards, worker state that cannot
+  /// change results). Blocks until all indices complete; the first
+  /// exception is rethrown after the batch drains.
+  void parallel_for_sharded(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Process-wide pool, created on first use.
   static ThreadPool& shared();
 

@@ -133,6 +133,70 @@ void ThreadPool::parallel_for(std::size_t n,
   }
 }
 
+void ThreadPool::parallel_for_sharded(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (impl_->workers.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  // One deque per worker, as a packed [lo, hi) range over the contiguous
+  // block partition of [0, n). All transitions are CASes on the packed
+  // value, so owner pops (lo+1), thief back-half steals (hi→mid) and
+  // re-installs of stolen ranges into an emptied queue can interleave
+  // freely without ever double-claiming an index.
+  const std::size_t q = std::min(size_, n);
+  const auto pack = [](std::uint64_t lo, std::uint64_t hi) {
+    return (lo << 32) | hi;
+  };
+  std::vector<std::atomic<std::uint64_t>> queues(q);
+  for (std::size_t k = 0; k < q; ++k)
+    queues[k].store(pack(k * n / q, (k + 1) * n / q));
+
+  parallel_for(q, [&](std::size_t k) {
+    for (;;) {
+      // Drain the own queue front-to-back.
+      for (;;) {
+        std::uint64_t cur = queues[k].load();
+        const std::uint64_t lo = cur >> 32, hi = cur & 0xffffffffu;
+        if (lo >= hi) break;
+        if (!queues[k].compare_exchange_weak(cur, pack(lo + 1, hi))) continue;
+        fn(static_cast<std::size_t>(lo), k);
+      }
+      // Out of work: steal from the largest remaining queue. Take the
+      // back half so the victim keeps its cache-warm front, and park the
+      // loot in the (empty) own queue — other thieves may in turn steal
+      // from it, which is the point of installing rather than looping.
+      std::size_t victim = q;
+      std::uint64_t best = 0;
+      for (std::size_t v = 0; v < q; ++v) {
+        if (v == k) continue;
+        const std::uint64_t cur = queues[v].load();
+        const std::uint64_t rem = (cur & 0xffffffffu) - (cur >> 32);
+        if ((cur >> 32) < (cur & 0xffffffffu) && rem > best) {
+          best = rem;
+          victim = v;
+        }
+      }
+      if (victim == q) return;  // every queue drained or in-flight
+      std::uint64_t cur = queues[victim].load();
+      const std::uint64_t lo = cur >> 32, hi = cur & 0xffffffffu;
+      if (lo >= hi) continue;  // raced empty; rescan
+      if (hi - lo == 1) {
+        // A single index: claim and run it directly.
+        if (queues[victim].compare_exchange_weak(cur, pack(lo + 1, hi)))
+          fn(static_cast<std::size_t>(lo), k);
+        continue;
+      }
+      const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+      if (!queues[victim].compare_exchange_weak(cur, pack(lo, mid)))
+        continue;  // lost the race; rescan
+      queues[k].store(pack(mid, hi));
+    }
+  });
+}
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool;
   return pool;

@@ -1,0 +1,228 @@
+#include "zz/farm/farm.h"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "zz/common/alloc_hook.h"
+#include "zz/common/check.h"
+#include "zz/common/thread_pool.h"
+#include "zz/signal/scratch.h"
+#include "zz/testbed/episode.h"
+#include "zz/zigzag/decoder.h"
+
+namespace zz::farm {
+namespace {
+
+/// POD per-episode aggregate — the unit the soak memo stores and the merge
+/// accumulates. Fixed arrays only: a memo hit is an index lookup plus this
+/// struct's copy, with no heap traffic.
+struct EpisodeAgg {
+  std::uint64_t rounds = 0;
+  std::uint64_t concurrent_rounds = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t collisions_resolved = 0;
+  std::uint64_t stream_samples = 0;
+  std::uint64_t stream_windows = 0;
+  std::uint64_t stream_deliveries = 0;
+  std::uint64_t latency_sum = 0;
+  std::array<std::uint64_t, kMaxCellSenders> per_flow{};
+};
+
+EpisodeAgg aggregate_stats(const testbed::ScenarioStats& s) {
+  EpisodeAgg a;
+  a.rounds = s.airtime_rounds;
+  a.concurrent_rounds = s.concurrent_rounds;
+  a.stream_samples = s.stream_samples;
+  a.stream_windows = s.stream_windows;
+  a.stream_deliveries = s.stream_deliveries;
+  // ScenarioStats folds its integer tallies into rates; recover the exact
+  // integers (the divisions were by the multiplier, so llround is exact).
+  a.latency_sum = static_cast<std::uint64_t>(std::llround(
+      s.mean_decode_latency * static_cast<double>(s.stream_deliveries)));
+  ZZ_CHECK_LE(s.flows.size(), kMaxCellSenders);
+  for (std::size_t i = 0; i < s.flows.size(); ++i) {
+    a.per_flow[i] = s.flows[i].delivered;
+    a.delivered += s.flows[i].delivered;
+    a.collisions_resolved += static_cast<std::uint64_t>(std::llround(
+        s.concurrent_throughput[i] * static_cast<double>(s.concurrent_rounds)));
+  }
+  return a;
+}
+
+void accumulate(CellResult& c, const EpisodeAgg& a) {
+  ++c.episodes;
+  c.rounds += a.rounds;
+  c.concurrent_rounds += a.concurrent_rounds;
+  c.delivered += a.delivered;
+  c.collisions_resolved += a.collisions_resolved;
+  c.stream_samples += a.stream_samples;
+  c.stream_windows += a.stream_windows;
+  c.stream_deliveries += a.stream_deliveries;
+  c.latency_sum += a.latency_sum;
+  for (std::size_t i = 0; i < kMaxCellSenders; ++i)
+    c.per_flow_delivered[i] += a.per_flow[i];
+}
+
+/// The episode-seed discipline, shared verbatim by ApFarm and run_cell so
+/// the scale-out and the serial reference draw identical streams.
+std::uint64_t episode_seed(std::uint64_t farm_seed, std::size_t cell,
+                           std::size_t episode, std::size_t distinct_seeds) {
+  const std::size_t e = distinct_seeds ? episode % distinct_seeds : episode;
+  return shard_seed(shard_seed(farm_seed, cell), e);
+}
+
+EpisodeAgg play_episode(const CellSpec& spec, std::uint64_t seed,
+                        const testbed::EpisodeResources& res) {
+  Rng rng(seed);
+  testbed::EpisodeStream es(spec.scenario, rng, res);
+  while (!es.done()) es.step(rng);
+  return aggregate_stats(es.finish());
+}
+
+void validate_cell(const CellSpec& cell) {
+  const auto& sc = cell.scenario;
+  if (sc.senders.empty())
+    throw std::invalid_argument("ApFarm: cell has no senders");
+  if (sc.senders.size() > kMaxCellSenders)
+    throw std::invalid_argument("ApFarm: cell exceeds kMaxCellSenders");
+  if (sc.mode != testbed::CollectMode::Live &&
+      sc.mode != testbed::CollectMode::Streaming)
+    throw std::invalid_argument(
+        "ApFarm: cells are episode streams (Live/Streaming collection)");
+  if (sc.receiver == testbed::ReceiverKind::AlgebraicMP)
+    throw std::invalid_argument(
+        "ApFarm: AlgebraicMP needs LoggedJoint collection");
+  if (sc.mode == testbed::CollectMode::Streaming &&
+      sc.receiver != testbed::ReceiverKind::ZigZag)
+    throw std::invalid_argument(
+        "ApFarm: Streaming collection is ZigZag-only");
+}
+
+}  // namespace
+
+CellResult run_cell(const CellSpec& cell, std::size_t cell_index,
+                    std::uint64_t seed, std::size_t episodes,
+                    std::size_t distinct_seeds) {
+  validate_cell(cell);
+  CellResult out;
+  out.cell = cell_index;
+  for (std::size_t e = 0; e < episodes; ++e)
+    accumulate(out, play_episode(cell,
+                                 episode_seed(seed, cell_index, e,
+                                              distinct_seeds),
+                                 {}));
+  return out;
+}
+
+struct ApFarm::Impl {
+  /// Memo slot lifecycle: Absent → (one CAS winner) Building → Ready.
+  /// Only the winner writes the entry; readers acquire-load Ready before
+  /// touching it, so entries are immutable-once-published and race-free.
+  /// A loser that raced the winner computes its own (identical) aggregate
+  /// locally and publishes nothing — deterministic either way.
+  enum : unsigned char { kAbsent = 0, kBuilding = 1, kReady = 2 };
+
+  std::vector<CellSpec> cells;
+  FarmOptions opt;
+  ThreadPool pool;
+  zigzag::DecodeCacheShards shards;
+  std::vector<sig::ScratchArena> arenas;
+  std::vector<EpisodeAgg> memo;
+  std::vector<std::atomic<unsigned char>> memo_state;
+
+  Impl(std::vector<CellSpec> cs, const FarmOptions& o)
+      : cells(std::move(cs)), opt(o), pool(opt.workers),
+        shards(pool.size()), arenas(pool.size()) {
+    if (cells.empty()) throw std::invalid_argument("ApFarm: no cells");
+    for (const auto& c : cells) validate_cell(c);
+    if (opt.distinct_seeds && opt.memoize_episodes) {
+      memo.resize(cells.size() * opt.distinct_seeds);
+      memo_state = std::vector<std::atomic<unsigned char>>(memo.size());
+    }
+  }
+
+  /// Per-episode outcome, filled on the worker and merged serially after
+  /// the pool barrier — per-episode slots rather than shared accumulators
+  /// so no cross-thread accumulation order can exist at all.
+  struct Slot {
+    EpisodeAgg agg;
+    std::uint64_t allocs = 0;
+    unsigned char memo_hit = 0;
+    unsigned char memo_miss = 0;
+  };
+
+  void process(std::size_t cell, std::size_t e, std::size_t worker,
+               Slot& slot) {
+    AllocTally tally;
+    testbed::EpisodeResources res;
+    if (opt.use_decode_cache) res.cache = &shards.shard(worker);
+    if (opt.reuse_arenas) res.arena = &arenas[worker];
+    const std::uint64_t seed =
+        episode_seed(opt.seed, cell, e, opt.distinct_seeds);
+    if (memo.empty()) {
+      slot.agg = play_episode(cells[cell], seed, res);
+      slot.memo_miss = 1;
+    } else {
+      const std::size_t k =
+          cell * opt.distinct_seeds + e % opt.distinct_seeds;
+      if (memo_state[k].load(std::memory_order_acquire) == kReady) {
+        slot.agg = memo[k];
+        slot.memo_hit = 1;
+      } else {
+        slot.agg = play_episode(cells[cell], seed, res);
+        slot.memo_miss = 1;
+        unsigned char expected = kAbsent;
+        if (memo_state[k].compare_exchange_strong(
+                expected, kBuilding, std::memory_order_acq_rel)) {
+          memo[k] = slot.agg;
+          memo_state[k].store(kReady, std::memory_order_release);
+        }
+      }
+    }
+    slot.allocs = tally.allocs();
+  }
+
+  FarmResult run(std::size_t epc) {
+    const std::size_t n = cells.size() * epc;
+    std::vector<Slot> slots(n);
+    pool.parallel_for_sharded(n, [&](std::size_t i, std::size_t w) {
+      process(i / epc, i % epc, w, slots[i]);
+    });
+
+    FarmResult out;
+    out.cells.resize(cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) out.cells[c].cell = c;
+    // Merge in (cell, episode) order on this thread: the only summation
+    // order that ever exists, independent of scheduling.
+    for (std::size_t i = 0; i < n; ++i) {
+      const Slot& s = slots[i];
+      accumulate(out.cells[i / epc], s.agg);
+      out.episode_allocs += s.allocs;
+      out.memo_hits += s.memo_hit;
+      out.memo_misses += s.memo_miss;
+    }
+    out.episodes = n;
+    for (const auto& c : out.cells) {
+      out.rounds += c.rounds;
+      out.delivered += c.delivered;
+      out.collisions_resolved += c.collisions_resolved;
+    }
+    out.decode_cache_hits = shards.hits();
+    out.decode_cache_misses = shards.misses();
+    out.decode_cache_entries = shards.entries();
+    return out;
+  }
+};
+
+ApFarm::ApFarm(std::vector<CellSpec> cells, FarmOptions options)
+    : impl_(std::make_unique<Impl>(std::move(cells), options)) {}
+ApFarm::~ApFarm() = default;
+
+FarmResult ApFarm::run(std::size_t episodes_per_cell) {
+  return impl_->run(episodes_per_cell);
+}
+std::size_t ApFarm::cells() const { return impl_->cells.size(); }
+std::size_t ApFarm::workers() const { return impl_->pool.size(); }
+
+}  // namespace zz::farm

@@ -4,6 +4,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "zz/testbed/episode.h"
+
 #include "zz/chan/channel.h"
 #include "zz/common/check.h"
 #include "zz/common/mathutil.h"
@@ -119,35 +121,20 @@ std::vector<std::size_t> active_indices(const std::vector<Sender>& senders) {
 inline constexpr std::size_t kStreamChunk = 509;
 inline constexpr std::size_t kStreamGap = 64;
 
-ScenarioStats run_live(Rng& rng, const Scenario& sc) {
-  const std::size_t n = sc.senders.size();
-  const ExperimentConfig& cfg = sc.cfg;
-  const bool streaming = sc.mode == CollectMode::Streaming;
+}  // namespace
 
+// The Live/Streaming loop body, held between step() calls. Everything that
+// was a local of the historical run_live lives here; step() is one
+// iteration of its round loop, byte-for-byte, so the RNG draw sequence —
+// and with it every committed baseline — is unchanged.
+struct EpisodeStream::Impl {
+  const Scenario sc;  ///< by value: episodes outlive the caller's spec
+  const std::size_t n;
+  const bool streaming;
   std::vector<Sender> senders;
-  senders.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    senders.push_back(
-        make_sender(rng, static_cast<std::uint8_t>(i + 1), sc.senders[i], cfg));
-
   ScenarioStats stats;
-  stats.flows.resize(n);
-  stats.concurrent_throughput.assign(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i)
-    stats.flows[i].offered = senders[i].remaining;
-
-  const phy::StandardReceiver std_rx;
-  // Reduces to the stock defaults at n = 2 (the historical pair
-  // configuration, bit-for-bit); n > 2 gets the n-way matching/detection
-  // tuning that makes the live and streaming routes decodable at all.
-  const zigzag::ReceiverOptions zz_opt =
-      zigzag::ReceiverOptions::for_clients(n);
-  const std::vector<phy::SenderProfile> profiles = [&] {
-    std::vector<phy::SenderProfile> ps;
-    for (const auto& s : senders) ps.push_back(s.profile);
-    return ps;
-  }();
-
+  phy::StandardReceiver std_rx;
+  std::vector<phy::SenderProfile> profiles;
   // The AP: offline per-reception receiver (Live) or the incremental
   // pipeline (Streaming). Both are fed through zz_receive below and draw
   // nothing from the scenario RNG, so the two routes consume identical
@@ -155,19 +142,47 @@ ScenarioStats run_live(Rng& rng, const Scenario& sc) {
   // bit for bit at a fixed seed (the streaming contract's scenario pin).
   std::optional<zigzag::ZigZagReceiver> zz_rx;
   std::optional<zigzag::StreamingReceiver> stream_rx;
-  if (streaming) {
-    zigzag::StreamingOptions sopt;
-    sopt.receiver = zz_opt;
-    stream_rx.emplace(sopt);
-    stream_rx->add_clients(profiles);
-  } else {
-    zz_rx.emplace(zz_opt);
-    zz_rx->add_clients(profiles);
+  std::uint64_t latency_sum = 0;
+  // Paren-init: braces would pick vector's initializer-list constructor
+  // and build a 2-element "silence" whose first sample is kStreamGap.
+  const CVec silence = CVec(kStreamGap, cplx{0.0, 0.0});
+  std::vector<std::size_t> conc_delivered;
+  std::size_t turn = 0;  ///< TDMA rotation (CollisionFreeScheduler)
+  bool finished = false;
+
+  Impl(const Scenario& scenario, Rng& rng, const EpisodeResources& res)
+      : sc(scenario), n(sc.senders.size()),
+        streaming(sc.mode == CollectMode::Streaming) {
+    senders.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      senders.push_back(make_sender(rng, static_cast<std::uint8_t>(i + 1),
+                                    sc.senders[i], sc.cfg));
+
+    stats.flows.resize(n);
+    stats.concurrent_throughput.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      stats.flows[i].offered = senders[i].remaining;
+    conc_delivered.assign(n, 0);
+
+    // Reduces to the stock defaults at n = 2 (the historical pair
+    // configuration, bit-for-bit); n > 2 gets the n-way matching/detection
+    // tuning that makes the live and streaming routes decodable at all.
+    zigzag::ReceiverOptions zz_opt = zigzag::ReceiverOptions::for_clients(n);
+    zz_opt.shared_cache = res.cache;
+    zz_opt.arena = res.arena;
+    for (const auto& s : senders) profiles.push_back(s.profile);
+    if (streaming) {
+      zigzag::StreamingOptions sopt;
+      sopt.receiver = zz_opt;
+      stream_rx.emplace(sopt);
+      stream_rx->add_clients(profiles);
+    } else if (sc.receiver == ReceiverKind::ZigZag) {
+      zz_rx.emplace(zz_opt);
+      zz_rx->add_clients(profiles);
+    }
   }
 
-  std::uint64_t latency_sum = 0;
-  const CVec silence(kStreamGap, cplx{0.0, 0.0});
-  const auto zz_receive = [&](const CVec& rx) {
+  std::vector<zigzag::Delivered> zz_receive(const CVec& rx) {
     if (!streaming) return zz_rx->receive(rx);
     std::vector<zigzag::Delivered> got;
     const auto take = [&](std::vector<zigzag::StreamDelivered>&& ds) {
@@ -184,48 +199,57 @@ ScenarioStats run_live(Rng& rng, const Scenario& sc) {
                            std::min(kStreamChunk, rx.size() - off)));
     take(stream_rx->push(silence));
     return got;
-  };
+  }
 
-  std::vector<std::size_t> conc_delivered(n, 0);
-  auto note_concurrent = [&](bool contended, std::size_t i, std::size_t cnt) {
+  void note_concurrent(bool contended, std::size_t i, std::size_t cnt) {
     if (contended) conc_delivered[i] += cnt;
-  };
+  }
+
+  bool done() const {
+    for (const auto& s : senders)
+      if (s.remaining) return false;
+    return true;
+  }
+
+  void step(Rng& rng) {
+    if (sc.receiver == ReceiverKind::CollisionFreeScheduler)
+      step_tdma(rng);
+    else
+      step_contention(rng);
+  }
 
   // The Collision-Free Scheduler is pure TDMA: every packet gets a clean
   // slot; throughput is capped at 1 packet per round.
-  if (sc.receiver == ReceiverKind::CollisionFreeScheduler) {
-    std::size_t turn = 0;
-    for (;;) {
-      const auto act = active_indices(senders);
-      if (act.empty()) break;
-      const bool contended = act.size() >= 2;
-      std::size_t idx = act[0];
-      for (std::size_t o = 0; o < n; ++o) {
-        const std::size_t cand = (turn + o) % n;
-        if (senders[cand].remaining) {
-          idx = cand;
-          break;
-        }
+  void step_tdma(Rng& rng) {
+    const ExperimentConfig& cfg = sc.cfg;
+    const auto act = active_indices(senders);
+    if (act.empty()) return;
+    const bool contended = act.size() >= 2;
+    std::size_t idx = act[0];
+    for (std::size_t o = 0; o < n; ++o) {
+      const std::size_t cand = (turn + o) % n;
+      if (senders[cand].remaining) {
+        idx = cand;
+        break;
       }
-      Sender& s = senders[idx];
-      ++turn;
-      ++stats.airtime_rounds;
-      if (contended) ++stats.concurrent_rounds;
-      if (clean_delivery(rng, s, cfg, std_rx)) {
-        ++s.delivered;
-        note_concurrent(contended, idx, 1);
-      }
-      --s.remaining;
     }
-    finish_stats(stats, senders, conc_delivered);
-    return stats;
+    Sender& s = senders[idx];
+    ++turn;
+    ++stats.airtime_rounds;
+    if (contended) ++stats.concurrent_rounds;
+    if (clean_delivery(rng, s, cfg, std_rx)) {
+      ++s.delivered;
+      note_concurrent(contended, idx, 1);
+    }
+    --s.remaining;
   }
 
   // 802.11 / ZigZag: saturated senders; when several are backlogged and
   // fail to sense each other, their transmissions collide.
-  for (;;) {
+  void step_contention(Rng& rng) {
+    const ExperimentConfig& cfg = sc.cfg;
     const auto act = active_indices(senders);
-    if (act.empty()) break;
+    if (act.empty()) return;
     const bool contended = act.size() >= 2;
     const bool sensed = contended ? rng.chance(sc.p_sense) : true;
     ++stats.airtime_rounds;
@@ -243,7 +267,7 @@ ScenarioStats run_live(Rng& rng, const Scenario& sc) {
       --s.remaining;
       s.retries = 0;
       s.inflight.reset();
-      continue;
+      return;
     }
 
     // Collision round: every backlogged sender transmits with random slot
@@ -304,7 +328,7 @@ ScenarioStats run_live(Rng& rng, const Scenario& sc) {
           s.inflight.reset();
         }
       }
-      continue;
+      return;
     }
 
     emu::CollisionBuilder builder;
@@ -357,26 +381,65 @@ ScenarioStats run_live(Rng& rng, const Scenario& sc) {
     }
   }
 
-  if (streaming) {
-    // Every window has already closed (each reception ends in a full
-    // silence gap), so finish() is a formality — but run it so a framer
-    // bug that held a window open would surface as extra deliveries here.
-    for (auto& sd : stream_rx->finish()) {
-      ++stats.stream_deliveries;
-      latency_sum += sd.decoded_at - sd.window_begin;
+  ScenarioStats finish() {
+    ZZ_CHECK(!finished);
+    finished = true;
+    if (streaming) {
+      // Every window has already closed (each reception ends in a full
+      // silence gap), so finish() is a formality — but run it so a framer
+      // bug that held a window open would surface as extra deliveries here.
+      for (auto& sd : stream_rx->finish()) {
+        ++stats.stream_deliveries;
+        latency_sum += sd.decoded_at - sd.window_begin;
+      }
+      const auto& st = stream_rx->stats();
+      stats.stream_samples = st.samples_in;
+      stats.stream_windows = st.windows;
+      stats.stream_max_push_work = st.max_push_work;
+      stats.stream_max_retained = st.max_retained;
+      if (stats.stream_deliveries)
+        stats.mean_decode_latency =
+            static_cast<double>(latency_sum) /
+            static_cast<double>(stats.stream_deliveries);
     }
-    const auto& st = stream_rx->stats();
-    stats.stream_samples = st.samples_in;
-    stats.stream_windows = st.windows;
-    stats.stream_max_push_work = st.max_push_work;
-    stats.stream_max_retained = st.max_retained;
-    if (stats.stream_deliveries)
-      stats.mean_decode_latency = static_cast<double>(latency_sum) /
-                                  static_cast<double>(stats.stream_deliveries);
+    finish_stats(stats, senders, conc_delivered);
+    return stats;
   }
+};
 
-  finish_stats(stats, senders, conc_delivered);
-  return stats;
+EpisodeStream::EpisodeStream(const Scenario& scenario, Rng& rng,
+                             const EpisodeResources& res) {
+  if (scenario.senders.empty())
+    throw std::invalid_argument("EpisodeStream: no senders");
+  if (scenario.mode != CollectMode::Live &&
+      scenario.mode != CollectMode::Streaming)
+    throw std::invalid_argument(
+        "EpisodeStream: only Live/Streaming collection runs round by round");
+  if (scenario.receiver == ReceiverKind::AlgebraicMP)
+    throw std::invalid_argument(
+        "EpisodeStream: AlgebraicMP is an offline joint decoder and needs "
+        "LoggedJoint collection");
+  if (scenario.mode == CollectMode::Streaming &&
+      scenario.receiver != ReceiverKind::ZigZag)
+    throw std::invalid_argument(
+        "EpisodeStream: Streaming collection is the ZigZag streaming "
+        "pipeline; other receiver kinds have no streaming route");
+  impl_ = std::make_unique<Impl>(scenario, rng, res);
+}
+
+EpisodeStream::~EpisodeStream() = default;
+
+bool EpisodeStream::done() const { return impl_->done(); }
+void EpisodeStream::step(Rng& rng) { impl_->step(rng); }
+std::size_t EpisodeStream::rounds() const { return impl_->stats.airtime_rounds; }
+ScenarioStats EpisodeStream::finish() { return impl_->finish(); }
+
+namespace {
+
+ScenarioStats run_live(Rng& rng, const Scenario& sc) {
+  EpisodeStream es(sc, rng);
+  while (!es.done()) es.step(rng);
+  return es.finish();
 }
 
 // ------------------------------------------------------------ LoggedJoint

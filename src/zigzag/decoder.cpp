@@ -73,6 +73,39 @@ struct DecodeCacheAccess {
   static DecodeCache::Impl& impl(DecodeCache& c) { return *c.impl_; }
 };
 
+DecodeCacheShards::DecodeCacheShards(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    shards_.push_back(std::make_unique<DecodeCache>());
+}
+
+DecodeCache& DecodeCacheShards::shard(std::size_t worker) {
+  return *shards_[worker % shards_.size()];
+}
+const DecodeCache& DecodeCacheShards::shard(std::size_t worker) const {
+  return *shards_[worker % shards_.size()];
+}
+
+void DecodeCacheShards::clear() {
+  for (auto& s : shards_) s->clear();
+}
+std::size_t DecodeCacheShards::entries() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->size();
+  return n;
+}
+std::size_t DecodeCacheShards::hits() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->hits();
+  return n;
+}
+std::size_t DecodeCacheShards::misses() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->misses();
+  return n;
+}
+
 namespace {
 
 /// Dual 64-bit FNV-1a over 64-bit words: a 128-bit bit-level fingerprint of
@@ -196,7 +229,7 @@ class Engine {
   Engine(std::span<const CollisionInput> collisions,
          std::span<const phy::SenderProfile> profiles, std::size_t num_packets,
          const DecodeOptions& opt, const phy::ReceiverConfig& rxcfg,
-         DecodeCache* cache)
+         DecodeCache* cache, sig::ScratchArena* ext_arena)
       : opt_(opt),
         rxcfg_(rxcfg),
         profiles_(profiles),
@@ -204,7 +237,8 @@ class Engine {
         C_(collisions.size()),
         P_(num_packets),
         dec_(opt.decoder_gains, opt.interp_half_width),
-        cache_(cache) {
+        cache_(cache),
+        arena_(ext_arena ? *ext_arena : own_arena_) {
     init();
   }
 
@@ -1571,7 +1605,12 @@ class Engine {
   std::vector<std::vector<double>> bank_nv_[2];         // [bank][p][c]
   DecodeCache* cache_ = nullptr;
   phy::ChunkDecoder::Result last_res_;  ///< cached_decode's uncached return
-  mutable sig::ScratchArena arena_;
+  /// Fallback scratch storage when no external arena was injected; arena_
+  /// aliases either this or the caller's (episode-persistent) arena. Slot
+  /// numbers are engine-owned either way, and decodes are sequential on an
+  /// arena by contract, so cross-engine reuse only recycles capacity.
+  mutable sig::ScratchArena own_arena_;
+  sig::ScratchArena& arena_;
   mutable CVec u_scratch_;  ///< render_u output inside render_image*
   std::size_t chunks_ = 0;
   std::size_t stalls_ = 0;
@@ -1590,13 +1629,13 @@ ZigZagDecoder::ZigZagDecoder(DecodeOptions opt, phy::ReceiverConfig rxcfg)
 
 DecodeResult ZigZagDecoder::decode(std::span<const CollisionInput> collisions,
                                    std::span<const phy::SenderProfile> profiles,
-                                   std::size_t num_packets,
-                                   DecodeCache* cache) const {
+                                   std::size_t num_packets, DecodeCache* cache,
+                                   sig::ScratchArena* arena) const {
   if (collisions.empty() || num_packets == 0) return {};
   for (const auto& ci : collisions)
     if (ci.samples == nullptr)
       throw std::invalid_argument("ZigZagDecoder: null samples");
-  Engine engine(collisions, profiles, num_packets, opt_, rxcfg_, cache);
+  Engine engine(collisions, profiles, num_packets, opt_, rxcfg_, cache, arena);
   return engine.run();
 }
 

@@ -68,6 +68,19 @@ struct ReceiverOptions {
   /// width is partial junk whose acceptance destroys the very equations
   /// the widening step needs.
   bool strict_joint = false;
+  /// Farm hooks (src/farm). When set, `shared_cache` replaces the
+  /// receiver's internal per-reception chunk-decode memo: every decode —
+  /// single, capture and joint — goes through it, and it is NOT cleared
+  /// between receptions, so warm episode replay hits across receive()
+  /// calls (cache use is bit-identical by the DecodeCache contract, so
+  /// outputs do not change). The owner bounds its memory and must not
+  /// share one cache shard between two receivers running concurrently
+  /// unless it accepts lock contention (the cache is internally
+  /// synchronized either way). `arena`, when set, supplies the decoder's
+  /// scratch buffers; it is thread-confined, so it must never be inside
+  /// two concurrent receive() calls. Both are borrowed, never owned.
+  DecodeCache* shared_cache = nullptr;
+  sig::ScratchArena* arena = nullptr;
 };
 
 /// One packet handed up the stack.
@@ -136,7 +149,8 @@ class ZigZagReceiver {
   PacketMatcher matcher_;  ///< §4.2.2 engine route, reused across receptions
   /// Chunk-decode memo for one reception's widening search (§4.5): as the
   /// joint decode retries with more stored receptions, chunks the extra
-  /// equation does not perturb replay from the memo. Cleared per receive().
+  /// equation does not perturb replay from the memo. Cleared per receive()
+  /// — unless opt_.shared_cache overrides it with a longer-lived memo.
   DecodeCache joint_cache_;
   std::vector<phy::SenderProfile> clients_;
   std::deque<PendingCollision> pending_;

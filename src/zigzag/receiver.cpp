@@ -76,7 +76,9 @@ std::vector<Delivered> ZigZagReceiver::try_single(
   std::vector<std::size_t> ids(dets.size());
   for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
   const CollisionInput in = make_input(rx, dets, ids, false);
-  const auto res = dec.decode({&in, 1}, clients_, dets.size());
+  const auto res =
+      dec.decode({&in, 1}, clients_, dets.size(), opt_.shared_cache,
+                 opt_.arena);
 
   std::vector<Delivered> out;
   for (const auto& p : res.packets) {
@@ -232,8 +234,9 @@ std::vector<Delivered> ZigZagReceiver::try_joint(
     if (c >= 2) ++*unknowns;
 
   const ZigZagDecoder dec(opt_.decode, opt_.rx);
-  const auto res = dec.decode({inputs.data(), inputs.size()}, clients_,
-                              registry.size(), &joint_cache_);
+  const auto res = dec.decode(
+      {inputs.data(), inputs.size()}, clients_, registry.size(),
+      opt_.shared_cache ? opt_.shared_cache : &joint_cache_, opt_.arena);
 
   std::vector<Delivered> out;
   for (const auto& p : res.packets) {
@@ -281,7 +284,9 @@ void ZigZagReceiver::remember(const CVec& rx, std::vector<Detection> dets) {
 }
 
 std::vector<Delivered> ZigZagReceiver::receive(const CVec& rx) {
-  joint_cache_.clear();  // memo is per-reception (bounds memory)
+  // The internal memo is per-reception (bounds memory); an injected farm
+  // cache persists across receptions by design — its owner bounds it.
+  if (!opt_.shared_cache) joint_cache_.clear();
   const CollisionDetector detector(opt_.detector);
   const auto dets = detector.detect(rx, clients_);
   if (dets.empty()) return {};

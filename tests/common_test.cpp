@@ -1,13 +1,21 @@
-// Unit tests for zz::common — RNG, CRC-32, math helpers, statistics.
+// Unit tests for zz::common — RNG, CRC-32, math helpers, statistics, the
+// worker pool's work-stealing episode queue and the allocation-counting
+// hook the AP-farm soak gates are built on.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
+#include <vector>
 
+#include "zz/common/alloc_hook.h"
 #include "zz/common/crc32.h"
 #include "zz/common/mathutil.h"
 #include "zz/common/rng.h"
 #include "zz/common/stats.h"
 #include "zz/common/table.h"
+#include "zz/common/thread_pool.h"
 
 namespace zz {
 namespace {
@@ -169,6 +177,229 @@ TEST(Table, Formatting) {
   t.add_row({"1"});  // short row padded
   t.print("smoke");  // must not crash
 }
+
+// ------------------------------------------- work-stealing episode queue
+
+TEST(ThreadPoolSharded, EveryIndexRunsExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 500;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for_sharded(
+        kN, [&](std::size_t i, std::size_t) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+  }
+}
+
+TEST(ThreadPoolSharded, WorkerIdsNameExclusiveState) {
+  // Per-worker state keyed by the queue id must never be entered by two
+  // threads at once — the contract the farm's arenas and cache shards
+  // rely on. Unsynchronized per-worker counters surface any violation as
+  // a lost update (and as a TSan report on the sanitizer legs).
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 2000;
+  std::vector<std::size_t> per_worker(pool.size(), 0);
+  pool.parallel_for_sharded(kN, [&](std::size_t, std::size_t w) {
+    ASSERT_LT(w, pool.size());
+    ++per_worker[w];
+  });
+  std::size_t total = 0;
+  for (const std::size_t c : per_worker) total += c;
+  EXPECT_EQ(total, kN);
+}
+
+TEST(ThreadPoolSharded, StealsAcrossSkewedBlocks) {
+  // Front-loaded costs: the first block's indices are slow, the rest
+  // instant. With stealing, fast workers must end up executing some of
+  // the slow block's indices (the back half of its range).
+  ThreadPool pool(4);
+  if (pool.size() < 2) GTEST_SKIP() << "needs a real pool";
+  constexpr std::size_t kN = 64;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_sharded(kN, [&](std::size_t i, std::size_t w) {
+    if (i < kN / 4 && w == 0)  // only the owner is slow on its own block
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ++hits[i];
+  });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolSharded, DegenerateSizes) {
+  ThreadPool pool(3);
+  std::size_t ran = 0;
+  pool.parallel_for_sharded(0, [&](std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 0u);
+  std::atomic<std::size_t> ran1{0};
+  pool.parallel_for_sharded(1, [&](std::size_t i, std::size_t w) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(w, 0u);
+    ++ran1;
+  });
+  EXPECT_EQ(ran1.load(), 1u);
+  // Fewer indices than workers: queue ids stay within [0, n).
+  std::atomic<std::size_t> ran2{0};
+  pool.parallel_for_sharded(2, [&](std::size_t, std::size_t w) {
+    EXPECT_LT(w, 2u);
+    ++ran2;
+  });
+  EXPECT_EQ(ran2.load(), 2u);
+}
+
+TEST(ThreadPoolSharded, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_sharded(
+          8,
+          [&](std::size_t i, std::size_t) {
+            if (i == 3) throw std::runtime_error("boom");
+          }),
+      std::runtime_error);
+}
+
+// ------------------------------------------------ allocation-count hook
+
+// Opaque escape barrier: GCC at -O2 may elide a paired new/delete outright
+// (allocation elision treats operator new as a removable builtin — which is
+// fine for the soak gate, an elided allocation is not allocator churn), but
+// these tests need the call to actually reach the hook.
+template <typename T>
+void keep_alloc(T const& p) {
+  asm volatile("" : : "g"(p) : "memory");
+}
+
+TEST(AllocHook, TallyCountsScopedAllocations) {
+  std::uint64_t in_scope, in_scope_bytes, empty_scope;
+  {
+    AllocTally tally;
+    auto* v = new std::vector<double>(4096);
+    keep_alloc(v);
+    delete v;
+    in_scope = tally.allocs();
+    in_scope_bytes = tally.alloc_bytes();
+  }
+  {
+    AllocTally tally;
+    empty_scope = tally.allocs();
+  }
+  EXPECT_GE(in_scope, 1u);  // at least the 32 KiB buffer
+  EXPECT_GE(in_scope_bytes, 4096u * sizeof(double));
+  EXPECT_EQ(empty_scope, 0u);
+}
+
+TEST(AllocHook, CountersAreThreadLocal) {
+  const AllocCounts before = thread_alloc_counts();
+  std::uint64_t other_thread = 0;
+  std::thread t([&] {
+    AllocTally tally;
+    auto* p = new int[256];
+    keep_alloc(p);
+    delete[] p;
+    other_thread = tally.allocs();
+  });
+  t.join();
+  // The worker's allocations land on its own counter, not ours. (join()
+  // and thread teardown may allocate on this thread; only assert the
+  // worker saw its own traffic.)
+  EXPECT_GE(other_thread, 1u);
+  EXPECT_GE(thread_alloc_counts().allocs, before.allocs);
+}
+
+TEST(AllocHook, LiveBytesTrackNetHeap) {
+  const std::int64_t before = live_heap_bytes();
+  constexpr std::size_t kBytes = 1 << 20;
+  auto* p = new char[kBytes];
+  keep_alloc(p);
+  const std::int64_t during = live_heap_bytes();
+  const std::int64_t peak = peak_heap_bytes();
+  delete[] p;
+  const std::int64_t after = live_heap_bytes();
+  EXPECT_GE(during - before, static_cast<std::int64_t>(kBytes));
+  EXPECT_GE(peak, during);
+  EXPECT_LT(after, during);
+}
+
+TEST(AllocHook, CountsEveryReplacementOperatorVariant) {
+  // Direct operator calls (never elidable — elision is a new-expression
+  // privilege) through every replacement the hook installs: plain, array,
+  // nothrow, over-aligned, and their delete counterparts. Each variant
+  // must tick the same thread-local counter.
+  AllocTally tally;
+  constexpr std::align_val_t kAlign{64};
+
+  void* a = ::operator new(32);
+  keep_alloc(a);
+  ::operator delete(a, std::size_t{32});
+  void* b = ::operator new[](32);
+  keep_alloc(b);
+  ::operator delete[](b, std::size_t{32});
+
+  void* c = ::operator new(32, std::nothrow);
+  keep_alloc(c);
+  ASSERT_NE(c, nullptr);
+  ::operator delete(c, std::nothrow);
+  void* d = ::operator new[](32, std::nothrow);
+  keep_alloc(d);
+  ASSERT_NE(d, nullptr);
+  ::operator delete[](d, std::nothrow);
+
+  void* e = ::operator new(32, kAlign);
+  keep_alloc(e);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(e) % 64, 0u);
+  ::operator delete(e, std::size_t{32}, kAlign);
+  void* f = ::operator new[](32, kAlign);
+  keep_alloc(f);
+  ::operator delete[](f, kAlign);
+
+  void* g = ::operator new(32, kAlign, std::nothrow);
+  keep_alloc(g);
+  ASSERT_NE(g, nullptr);
+  ::operator delete(g, kAlign, std::nothrow);
+  void* h = ::operator new[](32, kAlign, std::nothrow);
+  keep_alloc(h);
+  ASSERT_NE(h, nullptr);
+  ::operator delete[](h, kAlign, std::nothrow);
+
+  // Zero-size requests are legal and must return distinct pointers.
+  void* z = ::operator new(0);
+  keep_alloc(z);
+  ASSERT_NE(z, nullptr);
+  ::operator delete(z);
+  // Deleting nullptr is a no-op, not a count.
+  ::operator delete(static_cast<void*>(nullptr));
+  ::operator delete[](static_cast<void*>(nullptr));
+
+  EXPECT_EQ(tally.allocs(), 9u);
+  EXPECT_GE(tally.frees(), 9u);
+}
+
+// Sanitizer allocators treat absurd requests as a hard error (and abort
+// with halt_on_error) before the hook's failure path can run — exercise
+// the bad_alloc/nothrow-null routes only in plain builds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ZZ_TEST_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ZZ_TEST_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef ZZ_TEST_UNDER_SANITIZER
+TEST(AllocHook, FailedAllocationsThrowOrReturnNull) {
+  // Far beyond any address space, but not so large the aligned padding
+  // arithmetic overflows.
+  constexpr std::size_t kHuge = std::size_t{1} << 60;
+  constexpr std::align_val_t kAlign{64};
+  EXPECT_THROW(static_cast<void>(::operator new(kHuge)), std::bad_alloc);
+  EXPECT_THROW(static_cast<void>(::operator new(kHuge, kAlign)),
+               std::bad_alloc);
+  EXPECT_EQ(::operator new(kHuge, std::nothrow), nullptr);
+  EXPECT_EQ(::operator new[](kHuge, std::nothrow), nullptr);
+  EXPECT_EQ(::operator new(kHuge, kAlign, std::nothrow), nullptr);
+  EXPECT_EQ(::operator new[](kHuge, kAlign, std::nothrow), nullptr);
+}
+#endif
 
 }  // namespace
 }  // namespace zz

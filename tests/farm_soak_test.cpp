@@ -1,0 +1,123 @@
+// Soak gates for the AP-farm (zz/farm/farm.h): the endless-stream shape.
+//
+// A farm soaking for hours must reach a steady state that (a) performs no
+// heap allocation per episode, (b) retains a bounded working set no matter
+// how many episodes have played, and (c) keeps its caches warm. These are
+// the gates bench/ap_farm --soak enforces in CI; here they are pinned as
+// tests with the allocation-counting hook (zz/common/alloc_hook.h) as the
+// measuring instrument.
+#include <gtest/gtest.h>
+
+#include "zz/common/alloc_hook.h"
+#include "zz/farm/farm.h"
+#include "zz/testbed/scenario.h"
+
+namespace zz::farm {
+namespace {
+
+using testbed::CollectMode;
+using testbed::ReceiverKind;
+
+std::vector<CellSpec> soak_farm() {
+  std::vector<CellSpec> cells;
+  for (const double snr : {12.0, 10.5}) {
+    CellSpec cell;
+    cell.scenario =
+        testbed::hidden_n_scenario(2, snr, ReceiverKind::ZigZag);
+    cell.scenario.cfg.packets_per_sender = 2;
+    cell.scenario.cfg.payload_bytes = 200;
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+TEST(FarmSoak, SteadyStateEpisodesDoNotAllocate) {
+  // Soak mode: each cell cycles 2 distinct episode seeds with the episode
+  // memo on. The first run computes (and allocates — scenario engines,
+  // waveforms, decoder state); every later run must serve all episodes
+  // from the memo with ZERO operator-new calls inside episode processing,
+  // measured per episode by the allocation hook on the worker threads.
+  FarmOptions opt;
+  opt.seed = 51;
+  opt.workers = 2;
+  opt.distinct_seeds = 2;
+  ApFarm farm(soak_farm(), opt);
+
+  const FarmResult warmup = farm.run(4);
+  EXPECT_GT(warmup.episode_allocs, 0u);  // the engines really ran
+  EXPECT_GT(warmup.memo_misses, 0u);
+
+  for (int round = 0; round < 3; ++round) {
+    const FarmResult steady = farm.run(4);
+    EXPECT_EQ(steady.episode_allocs, 0u)
+        << "steady-state episode allocated (round " << round << ")";
+    EXPECT_EQ(steady.memo_hits, steady.episodes);
+    EXPECT_EQ(steady.memo_misses, 0u);
+    // Results stay bit-identical to the warmup's.
+    ASSERT_EQ(steady.cells.size(), warmup.cells.size());
+    for (std::size_t c = 0; c < steady.cells.size(); ++c) {
+      EXPECT_EQ(steady.cells[c].delivered, warmup.cells[c].delivered);
+      EXPECT_EQ(steady.cells[c].rounds, warmup.cells[c].rounds);
+    }
+  }
+}
+
+TEST(FarmSoak, RetainedHeapIsBoundedAcrossRuns) {
+  // The farm's working set must plateau: after warmup, playing more
+  // steady-state episodes may not grow the net live heap (the memo and
+  // the per-worker shards/arenas are the only retained state, and they
+  // are warm). Net growth is measured with the hook's live-byte counter;
+  // a generous slack absorbs allocator-internal noise.
+  FarmOptions opt;
+  opt.seed = 52;
+  opt.workers = 2;
+  opt.distinct_seeds = 2;
+  ApFarm farm(soak_farm(), opt);
+  (void)farm.run(4);   // warmup: compute + memoize every distinct episode
+  (void)farm.run(4);   // first steady run settles transient capacity
+  const std::int64_t plateau = live_heap_bytes();
+  for (int round = 0; round < 3; ++round) (void)farm.run(4);
+  const std::int64_t growth = live_heap_bytes() - plateau;
+  EXPECT_LT(growth, 256 * 1024) << "steady-state runs keep retaining memory";
+}
+
+TEST(FarmSoak, DecodeCacheHitRateMonotoneNonDecreasing) {
+  // With the episode memo OFF but seed cycling ON, repeated runs re-play
+  // the same episodes through the engine; one worker means one decode
+  // cache shard, so every chunk fingerprint a replay produces is already
+  // stored. The cumulative hit rate must be non-decreasing run over run,
+  // and strictly higher after the first replay than after the cold run.
+  FarmOptions opt;
+  opt.seed = 53;
+  opt.workers = 1;
+  opt.distinct_seeds = 2;
+  opt.memoize_episodes = false;
+  ApFarm farm(soak_farm(), opt);
+
+  const auto rate = [](const FarmResult& r) {
+    const std::uint64_t total = r.decode_cache_hits + r.decode_cache_misses;
+    return total ? static_cast<double>(r.decode_cache_hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+  };
+
+  const FarmResult cold = farm.run(2);
+  EXPECT_GT(cold.decode_cache_misses, 0u);
+  EXPECT_EQ(cold.memo_hits, 0u);  // memo disabled: every episode executed
+  double last = rate(cold);
+  const std::uint64_t misses_after_cold = cold.decode_cache_misses;
+
+  for (int round = 0; round < 3; ++round) {
+    const FarmResult warm = farm.run(2);
+    const double r = rate(warm);
+    EXPECT_GE(r, last) << "hit rate regressed in round " << round;
+    last = r;
+    // A single shard replaying identical episodes never misses again.
+    EXPECT_EQ(warm.decode_cache_misses, misses_after_cold)
+        << "warm replay re-ran the black-box decoder (round " << round << ")";
+  }
+  EXPECT_GT(last, rate(cold));
+}
+
+}  // namespace
+}  // namespace zz::farm

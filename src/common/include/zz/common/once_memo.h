@@ -1,0 +1,51 @@
+// Publish-once slot state — the Absent → (one CAS winner) Building → Ready
+// lifecycle of the farm's episode memo (src/farm/farm.cpp), extracted so
+// the memo model suite explores the exact transitions the farm runs.
+//
+// Contract (pinned by the memo model suite): at most one caller ever wins
+// try_begin_publish(), so the payload slot is written at most once; a
+// reader that sees ready_acquire() observes the winner's completed payload
+// (release publish ↔ acquire check); losers compute their own identical
+// value locally and publish nothing. Ordering convention in
+// docs/ANALYSIS.md §10 — the release on publish() is load-bearing: the
+// suite's intentionally-broken relaxed-publish variant is caught by the
+// explorer (a reader sees Ready but a stale payload).
+#pragma once
+
+#include "zz/common/atomic.h"
+
+namespace zz {
+
+class PublishOnceState {
+ public:
+  enum State : unsigned char { kAbsent = 0, kBuilding = 1, kReady = 2 };
+
+  constexpr PublishOnceState() noexcept : s_(kAbsent) {}
+  PublishOnceState(const PublishOnceState&) = delete;
+  PublishOnceState& operator=(const PublishOnceState&) = delete;
+
+  /// True once the payload is published; the acquire pairs with publish()
+  /// so the payload read that follows sees the winner's writes.
+  bool ready_acquire() const noexcept {
+    return s_.load(std::memory_order_acquire) == kReady;
+  }
+
+  /// At most one caller over the slot's lifetime wins (Absent→Building).
+  /// The winner must write the payload and then call publish(); losers
+  /// must not touch the payload slot.
+  bool try_begin_publish() noexcept {
+    unsigned char expected = kAbsent;
+    return s_.compare_exchange_strong(expected, kBuilding,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed);
+  }
+
+  /// Building→Ready. Release: everything the winner wrote to the payload
+  /// happens-before any reader that passes ready_acquire().
+  void publish() noexcept { s_.store(kReady, std::memory_order_release); }
+
+ private:
+  Atomic<unsigned char> s_;
+};
+
+}  // namespace zz

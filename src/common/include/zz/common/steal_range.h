@@ -1,0 +1,124 @@
+// Lock-free kernels of ThreadPool (zz/common/thread_pool.h), extracted so
+// the model-check suites explore EXACTLY the transitions the pool runs:
+//
+//  * RangeCell / range_pop_front / range_steal_back — the work-stealing
+//    deque of parallel_for_sharded: one packed [lo, hi) range per worker,
+//    owner front-pops, thieves take the back half and install the loot in
+//    their own (drained) cell. Every transition is a CAS on the packed
+//    word, so no index is ever claimed twice (pinned by the deque suite).
+//  * ticket_claim — the (generation << 32 | next_index) batch ticket of
+//    parallel_for: the CAS re-checks the generation, so a worker lingering
+//    from a drained batch can never claim an index of the NEXT batch.
+//
+// Ordering convention (docs/ANALYSIS.md §10): scans are acquire loads
+// (observe the latest claims before deciding), claims are acq_rel CASes
+// (a claim both takes ownership of the index and republishes the cell),
+// installs of freshly-stolen loot are release stores; CAS failure paths
+// are relaxed (the retry re-loads).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "zz/common/atomic.h"
+
+namespace zz {
+
+/// A [lo, hi) index range packed into one atomic 64-bit word.
+struct RangeCell {
+  static constexpr std::uint64_t pack(std::uint64_t lo,
+                                      std::uint64_t hi) noexcept {
+    return (lo << 32) | hi;
+  }
+  static constexpr std::uint64_t lo(std::uint64_t packed) noexcept {
+    return packed >> 32;
+  }
+  static constexpr std::uint64_t hi(std::uint64_t packed) noexcept {
+    return packed & 0xffffffffu;
+  }
+  static constexpr bool empty(std::uint64_t packed) noexcept {
+    return lo(packed) >= hi(packed);
+  }
+};
+
+enum class PopOutcome {
+  kEmpty,   ///< cell drained — stop popping, go steal
+  kPopped,  ///< *out holds the claimed front index
+  kRaced,   ///< CAS lost (a thief moved the cell) — retry
+};
+
+/// One owner front-pop attempt on `q`.
+inline PopOutcome range_pop_front(Atomic<std::uint64_t>& q,
+                                  std::size_t* out) noexcept {
+  std::uint64_t cur = q.load(std::memory_order_acquire);
+  const std::uint64_t lo = RangeCell::lo(cur), hi = RangeCell::hi(cur);
+  if (lo >= hi) return PopOutcome::kEmpty;
+  if (!q.compare_exchange_weak(cur, RangeCell::pack(lo + 1, hi),
+                               std::memory_order_acq_rel,
+                               std::memory_order_relaxed))
+    return PopOutcome::kRaced;
+  *out = static_cast<std::size_t>(lo);
+  return PopOutcome::kPopped;
+}
+
+enum class StealOutcome {
+  kEmpty,        ///< victim raced empty — rescan for another victim
+  kStoleSingle,  ///< one index left: claimed directly into *out
+  kInstalled,    ///< back half moved into `own` — resume popping it
+  kRaced,        ///< CAS lost — rescan
+};
+
+/// One steal attempt from `victim` into the caller's drained cell `own`.
+/// Takes the back half so the victim keeps its cache-warm front; installing
+/// the loot (rather than looping over it) lets other thieves re-steal it.
+inline StealOutcome range_steal_back(Atomic<std::uint64_t>& victim,
+                                     Atomic<std::uint64_t>& own,
+                                     std::size_t* out) noexcept {
+  std::uint64_t cur = victim.load(std::memory_order_acquire);
+  const std::uint64_t lo = RangeCell::lo(cur), hi = RangeCell::hi(cur);
+  if (lo >= hi) return StealOutcome::kEmpty;
+  if (hi - lo == 1) {
+    // A single index: claim and run it directly.
+    if (!victim.compare_exchange_weak(cur, RangeCell::pack(lo + 1, hi),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed))
+      return StealOutcome::kRaced;
+    *out = static_cast<std::size_t>(lo);
+    return StealOutcome::kStoleSingle;
+  }
+  const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+  if (!victim.compare_exchange_weak(cur, RangeCell::pack(lo, mid),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed))
+    return StealOutcome::kRaced;
+  own.store(RangeCell::pack(mid, hi), std::memory_order_release);
+  return StealOutcome::kInstalled;
+}
+
+enum class TicketOutcome {
+  kSuperseded,  ///< ticket's generation moved past `gen` — exit the batch
+  kExhausted,   ///< all n indices claimed — exit the batch
+  kClaimed,     ///< *out holds the claimed index
+  kRaced,       ///< CAS lost — retry
+};
+
+/// One claim attempt on the batch ticket for generation `gen` of `n`
+/// tasks. The full-word CAS makes generation re-check and index claim one
+/// atomic step — there is no window where a stale worker can take an index
+/// of a newer batch.
+inline TicketOutcome ticket_claim(Atomic<std::uint64_t>& ticket,
+                                  std::uint32_t gen, std::size_t n,
+                                  std::size_t* out) noexcept {
+  std::uint64_t t = ticket.load(std::memory_order_acquire);
+  if (static_cast<std::uint32_t>(t >> 32) != gen)
+    return TicketOutcome::kSuperseded;
+  const auto i = static_cast<std::size_t>(t & 0xffffffffu);
+  if (i >= n) return TicketOutcome::kExhausted;
+  if (!ticket.compare_exchange_weak(t, t + 1, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed))
+    return TicketOutcome::kRaced;
+  *out = i;
+  return TicketOutcome::kClaimed;
+}
+
+}  // namespace zz

@@ -1,0 +1,667 @@
+// Interleaving explorer engine — see zz/common/model/explorer.h for the
+// execution and memory-model overview. Everything here is single-logical-
+// threaded: a baton (mu_/cv_/active_) guarantees exactly one of
+// {controller, virtual threads} runs at a time, so exploration state needs
+// no further locking — the baton handoff is the happens-before edge.
+#include "zz/common/model/explorer.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace zz::model {
+namespace detail {
+namespace {
+
+constexpr int kController = -1;
+
+// memory_order numeric values (matching std::memory_order casts from the
+// façade; avoids including <atomic> here).
+[[maybe_unused]] constexpr int kRelaxed = 0;
+constexpr int kAcquire = 2;
+constexpr int kRelease = 3;
+constexpr int kAcqRel = 4;
+constexpr int kSeqCst = 5;
+
+bool is_acquire(int o) { return o == kAcquire || o == kAcqRel || o == kSeqCst; }
+bool is_release(int o) { return o == kRelease || o == kAcqRel || o == kSeqCst; }
+
+/// Per-thread visibility: loc → minimum store timestamp this thread may
+/// still observe there (its watermark).
+using View = std::map<const void*, std::uint64_t>;
+
+void join(View& into, const View& from) {
+  for (const auto& [loc, ts] : from) {
+    auto [it, inserted] = into.try_emplace(loc, ts);
+    if (!inserted && it->second < ts) it->second = ts;
+  }
+}
+
+struct StoreRec {
+  std::uint64_t val = 0;
+  std::uint64_t ts = 0;
+  int tid = kController;
+  View mview;  ///< view released with this store (empty for relaxed stores)
+};
+
+struct Location {
+  std::vector<StoreRec> hist;  ///< timestamp-ascending modification order
+  unsigned width = 8;          ///< sizeof(T): RMW results wrap at this width
+  int index = 0;               ///< registration order, for trace names
+};
+
+struct MutexState {
+  bool held = false;
+  int holder = kController;
+  View mview;  ///< view released by the last unlock
+  int index = 0;
+};
+
+enum class TState { kNotStarted, kRunning, kRunnable, kBlocked, kDone };
+
+struct VThread {
+  TState state = TState::kNotStarted;
+  View view;
+  const void* blocked_on = nullptr;  ///< mutex key while kBlocked
+  std::thread worker;
+};
+
+struct Choice {
+  int chosen = 0;
+  int arity = 1;
+};
+
+class Explorer;
+thread_local Explorer* tl_ex = nullptr;
+thread_local int tl_tid = kController;
+
+class Explorer {
+ public:
+  Explorer(const Options& opt, const ExploreHooks& hooks)
+      : opt_(opt),
+        hooks_(hooks),
+        th_(static_cast<std::size_t>(opt.threads < 1 ? 1 : opt.threads)) {
+    if (opt_.threads < 1) opt_.threads = 1;
+    if (opt_.store_history < 1) opt_.store_history = 1;
+  }
+
+  Result run() {
+    tl_ex = this;
+    tl_tid = kController;
+    for (int t = 0; t < opt_.threads; ++t)
+      th_[static_cast<std::size_t>(t)].worker =
+          std::thread([this, t] { worker_main(t); });
+
+    for (;;) {
+      run_one_schedule();
+      ++result_.interleavings;
+      if (result_.failed) break;
+      // DFS backtrack: drop exhausted suffix, advance the deepest live
+      // choice; replay re-derives everything above it next schedule.
+      while (!stack_.empty() &&
+             stack_.back().chosen + 1 >= stack_.back().arity)
+        stack_.pop_back();
+      if (stack_.empty()) break;  // schedule space fully explored
+      if (result_.interleavings >= opt_.max_schedules) {
+        result_.cap_hit = true;  // live choices remain but budget is spent
+        break;
+      }
+      ++stack_.back().chosen;
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+      cv_.notify_all();
+    }
+    for (auto& t : th_) t.worker.join();
+    tl_ex = nullptr;
+    return result_;
+  }
+
+  // ---- modeled operations (called with the baton held) -----------------
+
+  std::uint64_t do_load(const void* loc, int order) {
+    if (tl_tid == kController) {
+      // Construction / finish() context: no scheduling, newest-value
+      // visibility — final invariants judge the end state.
+      return hist(loc).back().val;
+    }
+    announce();
+    Location& l = hist_loc(loc);
+    View& v = th_at(tl_tid).view;
+    const std::uint64_t wm = watermark(v, loc);
+    // Candidates: the newest store plus up to store_history-1 older ones
+    // the watermark still allows. History is ts-ascending, so walk back.
+    std::vector<const StoreRec*> cand;
+    for (auto it = l.hist.rbegin();
+         it != l.hist.rend() &&
+         cand.size() < static_cast<std::size_t>(opt_.store_history);
+         ++it) {
+      if (it->ts < wm) break;
+      cand.push_back(&*it);
+    }
+    std::reverse(cand.begin(), cand.end());  // oldest-first: stable numbering
+    const StoreRec& s = *cand[static_cast<std::size_t>(
+        choose(static_cast<int>(cand.size())))];
+    bump(v, loc, s.ts);
+    if (is_acquire(order)) join(v, s.mview);
+    if (order == kSeqCst) {
+      join(v, sc_view_);
+      join(sc_view_, v);
+    }
+    trace_op("load", l.index, s.val);
+    return s.val;
+  }
+
+  void do_store(const void* loc, std::uint64_t val, int order) {
+    if (tl_tid == kController) {
+      push_store(loc, val, /*mview=*/View{});
+      return;
+    }
+    announce();
+    Location& l = hist_loc(loc);
+    View& v = th_at(tl_tid).view;
+    const std::uint64_t ts = push_store(loc, val, View{});
+    bump(v, loc, ts);
+    if (is_release(order)) l.hist.back().mview = v;
+    if (order == kSeqCst) {
+      join(v, sc_view_);
+      join(sc_view_, v);
+      l.hist.back().mview = v;
+    }
+    trace_op("store", l.index, val);
+  }
+
+  std::uint64_t do_exchange(const void* loc, std::uint64_t val, int order) {
+    return do_rmw(loc, order, [val](std::uint64_t) { return val; }, "xchg");
+  }
+
+  std::uint64_t do_fetch_add(const void* loc, std::uint64_t delta,
+                             int order) {
+    return do_rmw(
+        loc, order, [delta](std::uint64_t old) { return old + delta; },
+        "fetch_add");
+  }
+
+  bool do_cas(const void* loc, std::uint64_t& expected, std::uint64_t desired,
+              int success_order, int failure_order) {
+    if (tl_tid == kController) {
+      StoreRec& newest = hist(loc).back();
+      if (newest.val != expected) {
+        expected = newest.val;
+        return false;
+      }
+      push_store(loc, desired, View{});
+      return true;
+    }
+    announce();
+    Location& l = hist_loc(loc);
+    View& v = th_at(tl_tid).view;
+    StoreRec& newest = l.hist.back();  // RMW: modification-order head
+    if (newest.val != expected) {
+      bump(v, loc, newest.ts);
+      if (is_acquire(failure_order)) join(v, newest.mview);
+      trace_op("cas-fail", l.index, newest.val);
+      expected = newest.val;
+      return false;
+    }
+    rmw_write(l, loc, v, desired, success_order, newest.mview);
+    trace_op("cas", l.index, desired);
+    return true;
+  }
+
+  // ---- registration ----------------------------------------------------
+
+  void reg(void* loc, std::uint64_t initial, unsigned width) {
+    // Address reuse across schedule-local temporaries: stale watermarks for
+    // a dead location must not constrain the new one.
+    for (auto& t : th_) t.view.erase(loc);
+    ctrl_view_.erase(loc);
+    sc_view_.erase(loc);
+    Location& l = locs_[loc];
+    l.hist.clear();
+    l.width = width;
+    l.index = next_loc_index_++;
+    const std::uint64_t ts = ++now_;
+    l.hist.push_back(StoreRec{initial, ts, tl_tid, View{}});
+    if (tl_tid == kController)
+      bump(ctrl_view_, loc, ts);
+    else
+      bump(th_at(tl_tid).view, loc, ts);
+  }
+
+  void unreg(void* loc) { locs_.erase(loc); }
+  bool has(const void* loc) const { return locs_.count(loc) != 0; }
+
+  // ---- model::Mutex ----------------------------------------------------
+
+  void mutex_reg(const void* m) {
+    MutexState& s = mutexes_[m];
+    s = MutexState{};
+    s.index = next_mutex_index_++;
+  }
+  void mutex_unreg(const void* m) { mutexes_.erase(m); }
+
+  void mutex_lock(const void* m) {
+    for (;;) {
+      announce();
+      MutexState& s = mutexes_.at(m);
+      if (!s.held) {
+        s.held = true;
+        s.holder = tl_tid;
+        join(th_at(tl_tid).view, s.mview);  // acquire the last release
+        trace_mutex("lock", s.index);
+        return;
+      }
+      park_blocked(m);  // held elsewhere: scheduler skips us until unlock
+    }
+  }
+
+  void mutex_unlock(const void* m) {
+    announce();
+    MutexState& s = mutexes_.at(m);
+    if (!s.held || s.holder != tl_tid)
+      fail_now("model::Mutex::unlock without holding the lock");
+    s.mview = th_at(tl_tid).view;  // release our view to the next locker
+    s.held = false;
+    s.holder = kController;
+    trace_mutex("unlock", s.index);
+  }
+
+  // ---- failure ---------------------------------------------------------
+
+  [[noreturn]] void fail_now(const std::string& msg) {
+    record_failure(msg);
+    throw Abort{};
+  }
+
+ private:
+  // ---- schedule driver (controller) ------------------------------------
+
+  void run_one_schedule() {
+    now_ = 0;
+    steps_ = 0;
+    preemptions_ = 0;
+    cursor_ = 0;
+    last_ran_ = kController;
+    aborting_ = false;
+    sched_failed_ = false;
+    next_loc_index_ = 0;
+    next_mutex_index_ = 0;
+    locs_.clear();
+    mutexes_.clear();
+    ctrl_view_.clear();
+    sc_view_.clear();
+    trace_.clear();
+    for (auto& t : th_) {
+      t.state = TState::kNotStarted;
+      t.view.clear();
+      t.blocked_on = nullptr;
+    }
+
+    obj_ = nullptr;
+    try {
+      obj_ = hooks_.make(hooks_.ctx);
+      // Construction happens-before every thread start: seed each
+      // thread's watermark view with the controller's init stores.
+      for (auto& t : th_) t.view = ctrl_view_;
+      step_loop();
+      if (!sched_failed_) hooks_.finish(obj_);
+    } catch (const Abort&) {
+      sched_failed_ = true;
+    }
+    if (sched_failed_) drain();
+    if (!sched_failed_) {
+      for (const auto& [m, s] : mutexes_)
+        if (s.held) {
+          record_failure("model::Mutex still held at end of schedule");
+          break;
+        }
+    }
+    if (obj_) hooks_.destroy(obj_);
+    obj_ = nullptr;
+  }
+
+  void step_loop() {
+    for (;;) {
+      std::vector<int> runnable;
+      bool all_done = true;
+      for (int t = 0; t < opt_.threads; ++t) {
+        const VThread& vt = th_at(t);
+        if (vt.state != TState::kDone) all_done = false;
+        if (vt.state == TState::kNotStarted || vt.state == TState::kRunnable)
+          runnable.push_back(t);
+        else if (vt.state == TState::kBlocked &&
+                 !mutexes_.at(vt.blocked_on).held)
+          runnable.push_back(t);
+      }
+      if (runnable.empty()) {
+        if (all_done) return;
+        fail_now("deadlock: every virtual thread is blocked on model::Mutex");
+      }
+      // Bounded preemption: once the budget is spent, a still-runnable
+      // last-ran thread must keep running (switches away from a blocked or
+      // finished thread stay free).
+      const bool last_runnable =
+          std::find(runnable.begin(), runnable.end(), last_ran_) !=
+          runnable.end();
+      std::vector<int> cand = runnable;
+      if (opt_.max_preemptions >= 0 && last_runnable &&
+          preemptions_ >= opt_.max_preemptions)
+        cand.assign(1, last_ran_);
+      const int next = cand[static_cast<std::size_t>(
+          choose(static_cast<int>(cand.size())))];
+      if (last_runnable && next != last_ran_) ++preemptions_;
+      last_ran_ = next;
+      resume(next);
+      if (sched_failed_) return;
+      if (steps_ > opt_.max_steps)
+        fail_now("step budget exceeded: protocol livelocks under this "
+                 "schedule (raise Options::max_steps if intentional)");
+    }
+  }
+
+  /// Hand the baton to thread `t`; returns when it parks, blocks, or
+  /// finishes.
+  void resume(int t) {
+    std::unique_lock<std::mutex> lk(mu_);
+    th_at(t).state = TState::kRunning;
+    active_ = t;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return active_ == kController; });
+  }
+
+  /// After a schedule fails: resume every parked thread so its body
+  /// unwinds (announce/park throw Abort while aborting_), leaving all
+  /// workers at the top of worker_main for the next schedule.
+  void drain() {
+    aborting_ = true;
+    for (;;) {
+      int pending = -2;
+      for (int t = 0; t < opt_.threads; ++t) {
+        const TState s = th_at(t).state;
+        if (s == TState::kRunnable || s == TState::kBlocked) {
+          pending = t;
+          break;
+        }
+      }
+      if (pending == -2) break;
+      resume(pending);
+    }
+    aborting_ = false;
+  }
+
+  void worker_main(int tid) {
+    tl_ex = this;
+    tl_tid = tid;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [&] { return shutdown_ || active_ == tid; });
+      if (shutdown_) return;
+      lk.unlock();
+      try {
+        hooks_.run_thread(obj_for_workers(), tid);
+      } catch (const Abort&) {
+      } catch (const std::exception& e) {
+        record_failure(std::string("unexpected exception escaped protocol "
+                                   "body: ") +
+                       e.what());
+      } catch (...) {
+        record_failure("unexpected non-exception thrown from protocol body");
+      }
+      lk.lock();
+      th_at(tid).state = TState::kDone;
+      active_ = kController;
+      cv_.notify_all();
+    }
+  }
+
+  /// Park at a scheduling point: give the baton back and wait to be
+  /// chosen again. Every modeled op calls this first — the yield points
+  /// the tentpole promises.
+  void announce() {
+    std::unique_lock<std::mutex> lk(mu_);
+    th_at(tl_tid).state = TState::kRunnable;
+    active_ = kController;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return active_ == tl_tid; });
+    lk.unlock();
+    if (aborting_) throw Abort{};
+    ++result_.ops;
+    ++steps_;
+  }
+
+  void park_blocked(const void* m) {
+    std::unique_lock<std::mutex> lk(mu_);
+    th_at(tl_tid).state = TState::kBlocked;
+    th_at(tl_tid).blocked_on = m;
+    active_ = kController;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return active_ == tl_tid; });
+    th_at(tl_tid).blocked_on = nullptr;
+    lk.unlock();
+    if (aborting_) throw Abort{};
+  }
+
+  // ---- DFS choice stack ------------------------------------------------
+
+  int choose(int arity) {
+    if (arity <= 1) return 0;
+    ++result_.choice_points;
+    if (cursor_ < stack_.size()) {
+      Choice& c = stack_[cursor_];
+      if (c.arity != arity)
+        fail_now("schedule replay diverged: protocol body is "
+                 "nondeterministic beyond its zz::Atomic accesses");
+      ++cursor_;
+      return c.chosen;
+    }
+    stack_.push_back(Choice{0, arity});
+    ++cursor_;
+    return 0;
+  }
+
+  // ---- memory-model helpers --------------------------------------------
+
+  Location& hist_loc(const void* loc) {
+    auto it = locs_.find(loc);
+    if (it == locs_.end())
+      fail_now("modeled op on an unregistered location (constructed "
+               "outside the exploration?)");
+    return it->second;
+  }
+  std::vector<StoreRec>& hist(const void* loc) {
+    return hist_loc(loc).hist;
+  }
+
+  static std::uint64_t watermark(const View& v, const void* loc) {
+    auto it = v.find(loc);
+    return it == v.end() ? 0 : it->second;
+  }
+  static void bump(View& v, const void* loc, std::uint64_t ts) {
+    auto [it, inserted] = v.try_emplace(loc, ts);
+    if (!inserted && it->second < ts) it->second = ts;
+  }
+
+  static std::uint64_t mask_width(std::uint64_t v, unsigned width) {
+    return width >= 8 ? v : v & ((std::uint64_t{1} << (width * 8)) - 1);
+  }
+
+  std::uint64_t push_store(const void* loc, std::uint64_t val, View mview) {
+    Location& l = hist_loc(loc);
+    const std::uint64_t ts = ++now_;
+    l.hist.push_back(
+        StoreRec{mask_width(val, l.width), ts, tl_tid, std::move(mview)});
+    if (tl_tid == kController) bump(ctrl_view_, loc, ts);
+    return ts;
+  }
+
+  template <typename Fn>
+  std::uint64_t do_rmw(const void* loc, int order, Fn&& update,
+                       const char* name) {
+    if (tl_tid == kController) {
+      StoreRec& newest = hist(loc).back();
+      const std::uint64_t old = newest.val;
+      push_store(loc, update(old), View{});
+      return old;
+    }
+    announce();
+    Location& l = hist_loc(loc);
+    View& v = th_at(tl_tid).view;
+    StoreRec& newest = l.hist.back();  // RMWs read the newest store
+    const std::uint64_t old = newest.val;
+    rmw_write(l, loc, v, update(old), order, newest.mview);
+    trace_op(name, l.index, old);
+    return old;
+  }
+
+  /// Shared RMW write path: acquire side joins the read store's view,
+  /// the new store continues the read store's release sequence (C++20:
+  /// RMWs inherit, plain stores do not), release side attaches our view.
+  void rmw_write(Location& l, const void* loc, View& v, std::uint64_t desired,
+                 int order, const View& read_mview) {
+    StoreRec& newest = l.hist.back();
+    bump(v, loc, newest.ts);
+    if (is_acquire(order)) join(v, newest.mview);
+    if (order == kSeqCst) join(v, sc_view_);
+    const std::uint64_t ts = ++now_;
+    StoreRec rec{mask_width(desired, l.width), ts, tl_tid, read_mview};
+    bump(v, loc, ts);
+    if (is_release(order)) join(rec.mview, v);
+    if (order == kSeqCst) join(sc_view_, v);
+    l.hist.push_back(std::move(rec));
+  }
+
+  // ---- failure + trace -------------------------------------------------
+
+  void record_failure(const std::string& msg) {
+    sched_failed_ = true;
+    if (result_.failed) return;  // keep the first counterexample
+    result_.failed = true;
+    std::ostringstream os;
+    os << msg << "\n  counterexample schedule ("
+       << trace_.size() << " ops; A<i> = i-th registered atomic, M<i> = "
+       << "i-th model::Mutex):\n";
+    for (const auto& line : trace_) os << "    " << line << "\n";
+    result_.failure = os.str();
+  }
+
+  void trace_op(const char* op, int loc_index, std::uint64_t val) {
+    std::ostringstream os;
+    os << "t" << tl_tid << " " << op << " A" << loc_index << " = " << val;
+    trace_.push_back(os.str());
+  }
+  void trace_mutex(const char* op, int index) {
+    std::ostringstream os;
+    os << "t" << tl_tid << " " << op << " M" << index;
+    trace_.push_back(os.str());
+  }
+
+  VThread& th_at(int t) { return th_[static_cast<std::size_t>(t)]; }
+  void* obj_for_workers() { return obj_; }
+
+  Options opt_;
+  ExploreHooks hooks_;
+  Result result_;
+
+  // Baton: exactly one of {controller (kController), worker t} runs.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int active_ = kController;
+  bool shutdown_ = false;
+
+  std::vector<VThread> th_;
+  void* obj_ = nullptr;
+
+  // Per-schedule state (reset in run_one_schedule).
+  std::unordered_map<const void*, Location> locs_;
+  std::map<const void*, MutexState> mutexes_;
+  View ctrl_view_;
+  View sc_view_;
+  std::uint64_t now_ = 0;
+  int steps_ = 0;
+  int preemptions_ = 0;
+  int last_ran_ = kController;
+  bool aborting_ = false;
+  bool sched_failed_ = false;
+  int next_loc_index_ = 0;
+  int next_mutex_index_ = 0;
+  std::vector<std::string> trace_;
+
+  // DFS state (persists across schedules).
+  std::vector<Choice> stack_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+bool exploring() noexcept { return tl_ex != nullptr; }
+
+bool registered(const void* loc) noexcept {
+  return tl_ex != nullptr && tl_ex->has(loc);
+}
+
+void register_loc(void* loc, std::uint64_t initial, unsigned width) {
+  if (tl_ex) tl_ex->reg(loc, initial, width);
+}
+void unregister_loc(void* loc) noexcept {
+  if (tl_ex) tl_ex->unreg(loc);
+}
+
+std::uint64_t op_load(const void* loc, int order) {
+  return tl_ex->do_load(loc, order);
+}
+void op_store(void* loc, std::uint64_t v, int order) {
+  tl_ex->do_store(loc, v, order);
+}
+std::uint64_t op_exchange(void* loc, std::uint64_t v, int order) {
+  return tl_ex->do_exchange(loc, v, order);
+}
+std::uint64_t op_fetch_add(void* loc, std::uint64_t delta, int order) {
+  return tl_ex->do_fetch_add(loc, delta, order);
+}
+bool op_cas(void* loc, std::uint64_t& expected, std::uint64_t desired,
+            int success_order, int failure_order) {
+  return tl_ex->do_cas(loc, expected, desired, success_order, failure_order);
+}
+
+void fail(const char* expr, const char* msg, const char* file, int line) {
+  std::ostringstream os;
+  os << "ZZ_MODEL_ASSERT(" << expr << ") failed at " << file << ":" << line
+     << " — " << msg;
+  if (tl_ex) tl_ex->fail_now(os.str());
+  // Outside an exploration a model assert is a plain programming error.
+  std::fprintf(stderr, "%s\n", os.str().c_str());
+  std::abort();
+}
+
+Result explore_impl(const Options& opt, const ExploreHooks& hooks) {
+  Explorer ex(opt, hooks);
+  return ex.run();
+}
+
+}  // namespace detail
+
+Mutex::Mutex() {
+  if (!detail::tl_ex) {
+    std::fprintf(stderr,
+                 "zz::model::Mutex constructed outside an exploration\n");
+    std::abort();
+  }
+  detail::tl_ex->mutex_reg(this);
+}
+Mutex::~Mutex() {
+  if (detail::tl_ex) detail::tl_ex->mutex_unreg(this);
+}
+void Mutex::lock() { detail::tl_ex->mutex_lock(this); }
+void Mutex::unlock() { detail::tl_ex->mutex_unlock(this); }
+
+}  // namespace zz::model

@@ -1,12 +1,13 @@
 #include "zz/common/thread_pool.h"
 
-#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <thread>
 #include <vector>
 
+#include "zz/common/atomic.h"
 #include "zz/common/mutex.h"
+#include "zz/common/steal_range.h"
 #include "zz/common/thread_annotations.h"
 
 namespace zz {
@@ -26,11 +27,13 @@ struct ThreadPool::Impl {
   std::condition_variable done_cv;   ///< parallel_for waits here for drain
   const std::function<void(std::size_t)>* fn ZZ_GUARDED_BY(mu) = nullptr;
   std::size_t batch_n ZZ_GUARDED_BY(mu) = 0;
-  /// Claim ticket packing (generation << 32) | next_index. Claims go
-  /// through a CAS that re-checks the generation, so a worker lingering
-  /// from a drained batch can never claim (and silently consume) an index
-  /// of the NEXT batch — it observes the bumped generation and exits.
-  std::atomic<std::uint64_t> ticket{0};
+  /// Claim ticket packing (generation << 32) | next_index; the claim
+  /// protocol itself lives in zz/common/steal_range.h (ticket_claim) so
+  /// the model-check suite explores the same transitions. The CAS
+  /// re-checks the generation, so a worker lingering from a drained batch
+  /// can never claim (and silently consume) an index of the NEXT batch —
+  /// it observes the bumped generation and exits.
+  Atomic<std::uint64_t> ticket{0};
   std::size_t in_flight ZZ_GUARDED_BY(mu) = 0;  ///< claimed, not finished
   std::uint32_t generation ZZ_GUARDED_BY(mu) = 0;
   bool stop ZZ_GUARDED_BY(mu) = false;
@@ -43,11 +46,12 @@ struct ThreadPool::Impl {
   void run_tasks(const std::function<void(std::size_t)>& f, std::size_t n,
                  std::uint32_t gen) ZZ_EXCLUDES(mu) {
     for (;;) {
-      std::uint64_t t = ticket.load();
-      if (static_cast<std::uint32_t>(t >> 32) != gen) break;  // superseded
-      const auto i = static_cast<std::size_t>(t & 0xffffffffu);
-      if (i >= n) break;
-      if (!ticket.compare_exchange_weak(t, t + 1)) continue;
+      std::size_t i;
+      const TicketOutcome claim = ticket_claim(ticket, gen, n, &i);
+      if (claim == TicketOutcome::kSuperseded ||
+          claim == TicketOutcome::kExhausted)
+        break;
+      if (claim == TicketOutcome::kRaced) continue;
       try {
         f(i);
       } catch (...) {
@@ -121,7 +125,10 @@ void ThreadPool::parallel_for(std::size_t n,
     impl_->in_flight = n;
     impl_->error = nullptr;
     gen = ++impl_->generation;
-    impl_->ticket.store(static_cast<std::uint64_t>(gen) << 32);
+    // Release pairs with the claimers' acquire load in ticket_claim; the
+    // batch parameters themselves are published by mu.
+    impl_->ticket.store(static_cast<std::uint64_t>(gen) << 32,
+                        std::memory_order_release);
   }
   impl_->work_cv.notify_all();
   impl_->run_tasks(fn, n, gen);  // the caller helps drain the batch
@@ -142,57 +149,52 @@ void ThreadPool::parallel_for_sharded(
   }
 
   // One deque per worker, as a packed [lo, hi) range over the contiguous
-  // block partition of [0, n). All transitions are CASes on the packed
-  // value, so owner pops (lo+1), thief back-half steals (hi→mid) and
-  // re-installs of stolen ranges into an emptied queue can interleave
-  // freely without ever double-claiming an index.
+  // block partition of [0, n). The pop/steal/install transitions live in
+  // zz/common/steal_range.h (where the model-check suite explores them):
+  // every transition is a CAS on the packed value, so owner pops, thief
+  // back-half steals and re-installs of stolen ranges into an emptied
+  // queue can interleave freely without ever double-claiming an index.
   const std::size_t q = std::min(size_, n);
-  const auto pack = [](std::uint64_t lo, std::uint64_t hi) {
-    return (lo << 32) | hi;
-  };
-  std::vector<std::atomic<std::uint64_t>> queues(q);
+  std::vector<Atomic<std::uint64_t>> queues(q);
   for (std::size_t k = 0; k < q; ++k)
-    queues[k].store(pack(k * n / q, (k + 1) * n / q));
+    // The batch hand-off (pool mutex + ticket release) publishes the
+    // initial partition to the workers.
+    queues[k].store(RangeCell::pack(k * n / q, (k + 1) * n / q),
+                    std::memory_order_relaxed);
 
   parallel_for(q, [&](std::size_t k) {
     for (;;) {
       // Drain the own queue front-to-back.
       for (;;) {
-        std::uint64_t cur = queues[k].load();
-        const std::uint64_t lo = cur >> 32, hi = cur & 0xffffffffu;
-        if (lo >= hi) break;
-        if (!queues[k].compare_exchange_weak(cur, pack(lo + 1, hi))) continue;
-        fn(static_cast<std::size_t>(lo), k);
+        std::size_t i;
+        const PopOutcome pop = range_pop_front(queues[k], &i);
+        if (pop == PopOutcome::kEmpty) break;
+        if (pop == PopOutcome::kRaced) continue;
+        fn(i, k);
       }
-      // Out of work: steal from the largest remaining queue. Take the
-      // back half so the victim keeps its cache-warm front, and park the
-      // loot in the (empty) own queue — other thieves may in turn steal
-      // from it, which is the point of installing rather than looping.
+      // Out of work: steal from the largest remaining queue.
       std::size_t victim = q;
       std::uint64_t best = 0;
       for (std::size_t v = 0; v < q; ++v) {
         if (v == k) continue;
-        const std::uint64_t cur = queues[v].load();
-        const std::uint64_t rem = (cur & 0xffffffffu) - (cur >> 32);
-        if ((cur >> 32) < (cur & 0xffffffffu) && rem > best) {
+        const std::uint64_t cur = queues[v].load(std::memory_order_acquire);
+        const std::uint64_t rem = RangeCell::hi(cur) - RangeCell::lo(cur);
+        if (!RangeCell::empty(cur) && rem > best) {
           best = rem;
           victim = v;
         }
       }
       if (victim == q) return;  // every queue drained or in-flight
-      std::uint64_t cur = queues[victim].load();
-      const std::uint64_t lo = cur >> 32, hi = cur & 0xffffffffu;
-      if (lo >= hi) continue;  // raced empty; rescan
-      if (hi - lo == 1) {
-        // A single index: claim and run it directly.
-        if (queues[victim].compare_exchange_weak(cur, pack(lo + 1, hi)))
-          fn(static_cast<std::size_t>(lo), k);
-        continue;
+      std::size_t i;
+      switch (range_steal_back(queues[victim], queues[k], &i)) {
+        case StealOutcome::kStoleSingle:
+          fn(i, k);
+          break;
+        case StealOutcome::kEmpty:   // raced empty; rescan
+        case StealOutcome::kRaced:   // lost the race; rescan
+        case StealOutcome::kInstalled:  // loot parked — resume popping
+          break;
       }
-      const std::uint64_t mid = lo + (hi - lo + 1) / 2;
-      if (!queues[victim].compare_exchange_weak(cur, pack(lo, mid)))
-        continue;  // lost the race; rescan
-      queues[k].store(pack(mid, hi));
     }
   });
 }

@@ -1,11 +1,11 @@
 #include "zz/farm/farm.h"
 
-#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
 #include "zz/common/alloc_hook.h"
 #include "zz/common/check.h"
+#include "zz/common/once_memo.h"
 #include "zz/common/thread_pool.h"
 #include "zz/signal/scratch.h"
 #include "zz/testbed/episode.h"
@@ -116,20 +116,20 @@ CellResult run_cell(const CellSpec& cell, std::size_t cell_index,
 }
 
 struct ApFarm::Impl {
-  /// Memo slot lifecycle: Absent → (one CAS winner) Building → Ready.
-  /// Only the winner writes the entry; readers acquire-load Ready before
-  /// touching it, so entries are immutable-once-published and race-free.
-  /// A loser that raced the winner computes its own (identical) aggregate
-  /// locally and publishes nothing — deterministic either way.
-  enum : unsigned char { kAbsent = 0, kBuilding = 1, kReady = 2 };
-
   std::vector<CellSpec> cells;
   FarmOptions opt;
   ThreadPool pool;
   zigzag::DecodeCacheShards shards;
   std::vector<sig::ScratchArena> arenas;
   std::vector<EpisodeAgg> memo;
-  std::vector<std::atomic<unsigned char>> memo_state;
+  /// Memo slot lifecycle: Absent → (one CAS winner) Building → Ready
+  /// (zz::PublishOnceState — the protocol itself lives in
+  /// zz/common/once_memo.h where the memo model suite explores it). Only
+  /// the winner writes the entry; readers acquire-load Ready before
+  /// touching it, so entries are immutable-once-published and race-free.
+  /// A loser that raced the winner computes its own (identical) aggregate
+  /// locally and publishes nothing — deterministic either way.
+  std::vector<PublishOnceState> memo_state;
 
   Impl(std::vector<CellSpec> cs, const FarmOptions& o)
       : cells(std::move(cs)), opt(o), pool(opt.workers),
@@ -138,7 +138,7 @@ struct ApFarm::Impl {
     for (const auto& c : cells) validate_cell(c);
     if (opt.distinct_seeds && opt.memoize_episodes) {
       memo.resize(cells.size() * opt.distinct_seeds);
-      memo_state = std::vector<std::atomic<unsigned char>>(memo.size());
+      memo_state = std::vector<PublishOnceState>(memo.size());
     }
   }
 
@@ -166,17 +166,15 @@ struct ApFarm::Impl {
     } else {
       const std::size_t k =
           cell * opt.distinct_seeds + e % opt.distinct_seeds;
-      if (memo_state[k].load(std::memory_order_acquire) == kReady) {
+      if (memo_state[k].ready_acquire()) {
         slot.agg = memo[k];
         slot.memo_hit = 1;
       } else {
         slot.agg = play_episode(cells[cell], seed, res);
         slot.memo_miss = 1;
-        unsigned char expected = kAbsent;
-        if (memo_state[k].compare_exchange_strong(
-                expected, kBuilding, std::memory_order_acq_rel)) {
+        if (memo_state[k].try_begin_publish()) {
           memo[k] = slot.agg;
-          memo_state[k].store(kReady, std::memory_order_release);
+          memo_state[k].publish();
         }
       }
     }

@@ -1,0 +1,145 @@
+// zz::Atomic<T> façade (zz/common/atomic.h): production pass-through
+// semantics, zero overhead (no size growth, no allocations), and the
+// helper shapes (fetch_max, AtomicFlag/Guard, EntryCounter) the ported
+// protocols lean on. These tests run in EVERY build configuration —
+// under ZZ_MODEL_CHECK the objects here are constructed outside any
+// exploration, so they exercise the fall-through-to-std::atomic path the
+// model build's ordinary test suite depends on.
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "zz/common/alloc_hook.h"
+#include "zz/common/atomic.h"
+
+namespace zz {
+namespace {
+
+// Zero overhead: the façade is exactly its embedded atomic — no extra
+// members in any configuration (the model checker keys state off the
+// object's address, not off per-object storage).
+static_assert(sizeof(Atomic<bool>) == sizeof(bool));
+static_assert(sizeof(Atomic<std::uint8_t>) == sizeof(std::uint8_t));
+static_assert(sizeof(Atomic<int>) == sizeof(int));
+static_assert(sizeof(Atomic<std::uint64_t>) == sizeof(std::uint64_t));
+static_assert(sizeof(AtomicFlag) == sizeof(bool));
+static_assert(sizeof(EntryCounter) == sizeof(int));
+
+TEST(Atomic, LoadStoreExchangeRoundTrip) {
+  Atomic<int> a{7};
+  EXPECT_EQ(a.load(std::memory_order_relaxed), 7);
+  a.store(-3, std::memory_order_release);
+  EXPECT_EQ(a.load(std::memory_order_acquire), -3);
+  EXPECT_EQ(a.exchange(11, std::memory_order_acq_rel), -3);
+  EXPECT_EQ(a.load(std::memory_order_relaxed), 11);
+}
+
+TEST(Atomic, DefaultConstructionZeroInitializes) {
+  Atomic<std::uint64_t> a;
+  EXPECT_EQ(a.load(std::memory_order_relaxed), 0u);
+}
+
+TEST(Atomic, CompareExchangeSuccessAndFailure) {
+  Atomic<std::uint64_t> a{5};
+  std::uint64_t expected = 4;
+  EXPECT_FALSE(a.compare_exchange_strong(expected, 9,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed));
+  EXPECT_EQ(expected, 5u);  // failure loads the current value
+  EXPECT_TRUE(a.compare_exchange_strong(expected, 9,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed));
+  EXPECT_EQ(a.load(std::memory_order_relaxed), 9u);
+}
+
+TEST(Atomic, FetchAddSubReturnPriorValue) {
+  Atomic<std::int64_t> a{10};
+  EXPECT_EQ(a.fetch_add(5, std::memory_order_relaxed), 10);
+  EXPECT_EQ(a.fetch_sub(3, std::memory_order_relaxed), 15);
+  EXPECT_EQ(a.load(std::memory_order_relaxed), 12);
+}
+
+TEST(Atomic, NarrowTypesWrapAtTheirWidth) {
+  Atomic<std::uint8_t> a{250};
+  EXPECT_EQ(a.fetch_add(10, std::memory_order_relaxed), 250);
+  EXPECT_EQ(a.load(std::memory_order_relaxed), 4);  // 260 mod 256
+  Atomic<bool> b{false};
+  EXPECT_FALSE(b.exchange(true, std::memory_order_acquire));
+  EXPECT_TRUE(b.exchange(false, std::memory_order_acq_rel));
+}
+
+TEST(Atomic, OperationsDoNotAllocate) {
+  AllocTally tally;
+  Atomic<std::uint64_t> a{1};
+  for (int i = 0; i < 1000; ++i) {
+    a.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t e = a.load(std::memory_order_relaxed);
+    a.compare_exchange_weak(e, e + 1, std::memory_order_acq_rel,
+                            std::memory_order_relaxed);
+    fetch_max(a, e, std::memory_order_relaxed);
+  }
+  EXPECT_EQ(tally.allocs(), 0u);
+}
+
+TEST(FetchMax, RaisesAndReturnsPrior) {
+  Atomic<int> a{5};
+  EXPECT_EQ(fetch_max(a, 9, std::memory_order_relaxed), 5);
+  EXPECT_EQ(a.load(std::memory_order_relaxed), 9);
+  EXPECT_EQ(fetch_max(a, 3, std::memory_order_relaxed), 9);  // no lowering
+  EXPECT_EQ(a.load(std::memory_order_relaxed), 9);
+}
+
+TEST(FetchMax, NeverLosesAConcurrentMaximum) {
+  Atomic<std::uint64_t> peak{0};
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&peak, t] {
+      for (std::uint64_t i = 1; i <= kPerThread; ++i)
+        fetch_max(peak, std::uint64_t(t) * kPerThread + i,
+                  std::memory_order_relaxed);
+    });
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(peak.load(std::memory_order_relaxed),
+            std::uint64_t(kThreads) * kPerThread);
+}
+
+TEST(AtomicFlag, SecondAcquireFailsUntilRelease) {
+  AtomicFlag f;
+  EXPECT_FALSE(f.held(std::memory_order_relaxed));
+  EXPECT_TRUE(f.try_acquire());
+  EXPECT_TRUE(f.held(std::memory_order_relaxed));
+  EXPECT_FALSE(f.try_acquire());
+  f.release();
+  EXPECT_TRUE(f.try_acquire());
+  f.release();
+}
+
+TEST(AtomicFlagGuard, ReleasesOnlyWhatItAcquired) {
+  AtomicFlag f;
+  {
+    AtomicFlagGuard outer(f);
+    ASSERT_TRUE(outer.acquired());
+    {
+      AtomicFlagGuard inner(f);
+      EXPECT_FALSE(inner.acquired());
+    }
+    // The failed inner guard must not have released the outer's hold.
+    EXPECT_TRUE(f.held(std::memory_order_relaxed));
+  }
+  EXPECT_FALSE(f.held(std::memory_order_relaxed));
+}
+
+TEST(EntryCounter, ReportsPriorOccupancy) {
+  EntryCounter c;
+  EXPECT_EQ(c.enter(), 0);  // sole owner
+  EXPECT_EQ(c.enter(), 1);  // overlap detected
+  EXPECT_EQ(c.exit(), 2);
+  EXPECT_EQ(c.exit(), 1);  // we were sole owner again
+}
+
+}  // namespace
+}  // namespace zz

@@ -3,13 +3,13 @@
 // hook the AP-farm soak gates are built on.
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <thread>
 #include <vector>
 
 #include "zz/common/alloc_hook.h"
+#include "zz/common/atomic.h"
 #include "zz/common/crc32.h"
 #include "zz/common/mathutil.h"
 #include "zz/common/rng.h"
@@ -185,12 +185,13 @@ TEST(ThreadPoolSharded, EveryIndexRunsExactlyOnce) {
                                     std::size_t{4}, std::size_t{8}}) {
     ThreadPool pool(threads);
     constexpr std::size_t kN = 500;
-    std::vector<std::atomic<int>> hits(kN);
-    pool.parallel_for_sharded(
-        kN, [&](std::size_t i, std::size_t) { ++hits[i]; });
+    std::vector<Atomic<int>> hits(kN);
+    pool.parallel_for_sharded(kN, [&](std::size_t i, std::size_t) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
     for (std::size_t i = 0; i < kN; ++i)
-      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
-                                   << " threads";
+      ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1)
+          << "index " << i << " at " << threads << " threads";
   }
 }
 
@@ -218,13 +219,14 @@ TEST(ThreadPoolSharded, StealsAcrossSkewedBlocks) {
   ThreadPool pool(4);
   if (pool.size() < 2) GTEST_SKIP() << "needs a real pool";
   constexpr std::size_t kN = 64;
-  std::vector<std::atomic<int>> hits(kN);
+  std::vector<Atomic<int>> hits(kN);
   pool.parallel_for_sharded(kN, [&](std::size_t i, std::size_t w) {
     if (i < kN / 4 && w == 0)  // only the owner is slow on its own block
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    ++hits[i];
+    hits[i].fetch_add(1, std::memory_order_relaxed);
   });
-  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1);
 }
 
 TEST(ThreadPoolSharded, DegenerateSizes) {
@@ -232,20 +234,20 @@ TEST(ThreadPoolSharded, DegenerateSizes) {
   std::size_t ran = 0;
   pool.parallel_for_sharded(0, [&](std::size_t, std::size_t) { ++ran; });
   EXPECT_EQ(ran, 0u);
-  std::atomic<std::size_t> ran1{0};
+  Atomic<std::size_t> ran1{0};
   pool.parallel_for_sharded(1, [&](std::size_t i, std::size_t w) {
     EXPECT_EQ(i, 0u);
     EXPECT_EQ(w, 0u);
-    ++ran1;
+    ran1.fetch_add(1, std::memory_order_relaxed);
   });
-  EXPECT_EQ(ran1.load(), 1u);
+  EXPECT_EQ(ran1.load(std::memory_order_relaxed), 1u);
   // Fewer indices than workers: queue ids stay within [0, n).
-  std::atomic<std::size_t> ran2{0};
+  Atomic<std::size_t> ran2{0};
   pool.parallel_for_sharded(2, [&](std::size_t, std::size_t w) {
     EXPECT_LT(w, 2u);
-    ++ran2;
+    ran2.fetch_add(1, std::memory_order_relaxed);
   });
-  EXPECT_EQ(ran2.load(), 2u);
+  EXPECT_EQ(ran2.load(std::memory_order_relaxed), 2u);
 }
 
 TEST(ThreadPoolSharded, PropagatesFirstException) {

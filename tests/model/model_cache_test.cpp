@@ -1,0 +1,26 @@
+// DecodeCache publish path under the interleaving explorer: check under
+// the lock, decode outside it, first-writer-wins re-publish — with the
+// entry fields relaxed, leaning entirely on model::Mutex's acquire/release
+// view propagation (the production contract; entries are immutable once
+// published).
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "zz/common/model/protocols.h"
+
+namespace zz::model {
+namespace {
+
+TEST(ModelCache, FirstWriterWinsAndRacersAdopt) {
+  const Result r = run_cache_publish();
+  EXPECT_FALSE(r.failed) << r.failure;
+  EXPECT_GE(r.interleavings, 1000u)
+      << "exploration breadth regressed below the acceptance floor";
+  std::printf("[model] cache-publish: %llu interleavings, %llu ops\n",
+              static_cast<unsigned long long>(r.interleavings),
+              static_cast<unsigned long long>(r.ops));
+}
+
+}  // namespace
+}  // namespace zz::model

@@ -1,0 +1,35 @@
+// ThreadPool lock-free kernels under the interleaving explorer: the
+// work-stealing range deque (range_pop_front / range_steal_back) and the
+// generation-tagged batch ticket (ticket_claim) — the exact transitions
+// parallel_for_sharded and parallel_for run (zz/common/steal_range.h).
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "zz/common/model/protocols.h"
+
+namespace zz::model {
+namespace {
+
+TEST(ModelDeque, EveryIndexClaimedExactlyOnce) {
+  const Result r = run_deque_steal();
+  EXPECT_FALSE(r.failed) << r.failure;
+  EXPECT_GE(r.interleavings, 1000u)
+      << "exploration breadth regressed below the acceptance floor";
+  std::printf("[model] deque-steal: %llu interleavings, %llu ops\n",
+              static_cast<unsigned long long>(r.interleavings),
+              static_cast<unsigned long long>(r.ops));
+}
+
+TEST(ModelDeque, TicketGenerationsNeverCross) {
+  const Result r = run_ticket_generation();
+  EXPECT_FALSE(r.failed) << r.failure;
+  EXPECT_GE(r.interleavings, 1000u)
+      << "exploration breadth regressed below the acceptance floor";
+  std::printf("[model] ticket-generation: %llu interleavings, %llu ops\n",
+              static_cast<unsigned long long>(r.interleavings),
+              static_cast<unsigned long long>(r.ops));
+}
+
+}  // namespace
+}  // namespace zz::model

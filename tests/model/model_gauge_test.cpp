@@ -1,0 +1,57 @@
+// Gauge and guard protocols under the interleaving explorer: the
+// alloc-hook live/peak counters (fetch_max), the ReentryFlag /
+// AtomicFlagGuard try-lock region, and the ScratchArena confinement
+// counter whose acq_rel upgrade is this PR's bugfix — including the
+// relaxed variant the explorer must catch (the pinned regression).
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "zz/common/model/protocols.h"
+
+namespace zz::model {
+namespace {
+
+TEST(ModelGauge, PeakNeverLosesAConcurrentMaximum) {
+  const Result r = run_peak_gauge();
+  EXPECT_FALSE(r.failed) << r.failure;
+  EXPECT_GE(r.interleavings, 1000u)
+      << "exploration breadth regressed below the acceptance floor";
+  std::printf("[model] peak-gauge: %llu interleavings, %llu ops\n",
+              static_cast<unsigned long long>(r.interleavings),
+              static_cast<unsigned long long>(r.ops));
+}
+
+TEST(ModelGauge, ReentryFlagRegionIsExclusiveAndHandsOff) {
+  const Result r = run_reentry_flag();
+  EXPECT_FALSE(r.failed) << r.failure;
+  EXPECT_GE(r.interleavings, 1000u)
+      << "exploration breadth regressed below the acceptance floor";
+  std::printf("[model] reentry-flag: %llu interleavings, %llu ops\n",
+              static_cast<unsigned long long>(r.interleavings),
+              static_cast<unsigned long long>(r.ops));
+}
+
+TEST(ModelGauge, ConfinementHandOffIsOrderedByAcqRelCounter) {
+  const Result r = run_confinement_handoff();
+  EXPECT_FALSE(r.failed) << r.failure;
+  EXPECT_GE(r.interleavings, 1000u)
+      << "exploration breadth regressed below the acceptance floor";
+  std::printf("[model] confinement-handoff: %llu interleavings, %llu ops\n",
+              static_cast<unsigned long long>(r.interleavings),
+              static_cast<unsigned long long>(r.ops));
+}
+
+TEST(ModelGauge, RelaxedConfinementCounterIsCaught) {
+  // The pre-fix ScratchArena guard (relaxed fetch_add/fetch_sub): the
+  // detector stays silent yet the serial hand-off loses an update. The
+  // explorer finding this schedule is what pins the acq_rel bugfix.
+  const Result r = run_confinement_broken_relaxed();
+  EXPECT_TRUE(r.failed)
+      << "explorer missed the lost hand-off behind the relaxed counter";
+  EXPECT_NE(r.failure.find("lost"), std::string::npos) << r.failure;
+}
+
+}  // namespace
+}  // namespace zz::model

@@ -1,0 +1,37 @@
+// Farm episode-memo protocol under the interleaving explorer
+// (src/farm/farm.cpp's PublishOnceState lifecycle; contract details in
+// src/common/model/protocols.cpp).
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "zz/common/model/protocols.h"
+
+namespace zz::model {
+namespace {
+
+TEST(ModelMemo, PublishProtocolHoldsUnderAllSchedules) {
+  const Result r = run_memo_publish();
+  EXPECT_FALSE(r.failed) << r.failure;
+  EXPECT_GE(r.interleavings, 1000u)
+      << "exploration breadth regressed below the acceptance floor";
+  std::printf("[model] memo-publish: %llu interleavings, %llu ops\n",
+              static_cast<unsigned long long>(r.interleavings),
+              static_cast<unsigned long long>(r.ops));
+}
+
+TEST(ModelMemo, RelaxedPublishStoreIsCaught) {
+  // The regression test that the memory model has teeth: weakening the
+  // publish store to relaxed MUST produce a counterexample schedule where
+  // a reader passes the Ready check but reads the stale payload.
+  const Result r = run_memo_broken_relaxed_publish();
+  EXPECT_TRUE(r.failed)
+      << "explorer missed the stale-payload read behind a relaxed publish";
+  EXPECT_NE(r.failure.find("stale payload"), std::string::npos) << r.failure;
+  EXPECT_NE(r.failure.find("counterexample schedule"), std::string::npos)
+      << r.failure;
+}
+
+}  // namespace
+}  // namespace zz::model

@@ -1,0 +1,47 @@
+// CLI entry point for the lock-free protocol model checker: runs every
+// exploration in src/common/model/protocols.cpp and prints the
+// per-protocol verdict and interleaving counts CI logs (ci.sh
+// --model-check). Exit status is nonzero when any must-pass protocol
+// fails, any must-catch broken variant goes undetected, or a must-pass
+// exploration's breadth drops below the 1000-interleaving floor.
+#include <cstdio>
+
+#include "zz/common/model/protocols.h"
+
+int main() {
+  constexpr unsigned long long kMinInterleavings = 1000;
+  const auto runs = zz::model::run_protocol_suite();
+
+  std::printf("%-32s %-9s %14s %12s  %s\n", "protocol", "verdict",
+              "interleavings", "ops", "contract");
+  bool ok = true;
+  for (const auto& run : runs) {
+    const auto n = static_cast<unsigned long long>(run.result.interleavings);
+    const char* verdict;
+    if (run.expect_failure) {
+      verdict = run.result.failed ? "caught" : "MISSED";
+      if (!run.result.failed) ok = false;
+    } else if (run.result.failed) {
+      verdict = "FAILED";
+      ok = false;
+    } else if (n < kMinInterleavings) {
+      verdict = "SHALLOW";
+      ok = false;
+    } else {
+      verdict = "pass";
+    }
+    std::printf("%-32s %-9s %14llu %12llu  %s\n", run.name, verdict, n,
+                static_cast<unsigned long long>(run.result.ops),
+                run.contract);
+    if (!run.expect_failure && run.result.failed)
+      std::printf("  %s\n", run.result.failure.c_str());
+  }
+  if (!ok) {
+    std::printf("model check: FAILED (unexpected verdict above; floor is "
+                "%llu interleavings per protocol)\n",
+                kMinInterleavings);
+    return 1;
+  }
+  std::printf("model check: all protocols verified\n");
+  return 0;
+}

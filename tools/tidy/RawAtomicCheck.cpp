@@ -1,0 +1,64 @@
+#include "RawAtomicCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+
+namespace zz::tidy {
+namespace {
+
+/// Files allowed to name the raw types: the façade header (which embeds
+/// the real std::atomic) and the model-checker engine it routes to.
+bool inFacadeOrModel(llvm::StringRef Path) {
+  return Path.contains("zz/common/atomic.h") ||
+         Path.contains("/common/model/");
+}
+
+}  // namespace
+
+using namespace clang::ast_matchers;  // NOLINT: matcher DSL convention
+
+void RawAtomicCheck::registerMatchers(MatchFinder* Finder) {
+  // Any spelled use of the types: declarations, members, parameters,
+  // casts. Template instantiations carry the template's own location, so
+  // the façade's internal std::atomic member never leaks diagnostics into
+  // its users.
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(cxxRecordDecl(
+                  hasAnyName("::std::atomic", "::std::atomic_flag"))))))
+          .bind("raw-atomic-type"),
+      this);
+  // ATOMIC_FLAG_INIT-style C API: the free std::atomic_* functions bypass
+  // the façade just as effectively as the types do.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::std::atomic_load", "::std::atomic_store",
+                   "::std::atomic_exchange",
+                   "::std::atomic_compare_exchange_weak",
+                   "::std::atomic_compare_exchange_strong",
+                   "::std::atomic_fetch_add", "::std::atomic_fetch_sub",
+                   "::std::atomic_flag_test_and_set",
+                   "::std::atomic_flag_clear"))))
+          .bind("raw-atomic-call"),
+      this);
+}
+
+void RawAtomicCheck::check(const MatchFinder::MatchResult& Result) {
+  const clang::SourceManager& SM = *Result.SourceManager;
+  clang::SourceLocation Loc;
+  if (const auto* TL =
+          Result.Nodes.getNodeAs<clang::TypeLoc>("raw-atomic-type"))
+    Loc = TL->getBeginLoc();
+  else if (const auto* Call =
+               Result.Nodes.getNodeAs<clang::CallExpr>("raw-atomic-call"))
+    Loc = Call->getBeginLoc();
+  if (Loc.isInvalid()) return;
+  const clang::SourceLocation Spelling = SM.getSpellingLoc(Loc);
+  if (inFacadeOrModel(SM.getFilename(Spelling))) return;
+  diag(Loc,
+       "raw std::atomic is invisible to the interleaving model checker; "
+       "use the zz::Atomic facade (zz/common/atomic.h, "
+       "docs/ANALYSIS.md sec. 10)");
+}
+
+}  // namespace zz::tidy

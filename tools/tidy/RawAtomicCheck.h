@@ -1,0 +1,24 @@
+// zz-raw-atomic — every atomic in this repo goes through the zz::Atomic
+// façade (zz/common/atomic.h): in production it compiles to the identical
+// std::atomic, under ZZ_MODEL_CHECK it becomes a model-checker yield
+// point, and its API has no defaulted memory orders. A raw std::atomic /
+// std::atomic_flag is invisible to the interleaving explorer, so its
+// protocol is unverifiable — this check flags any mention of those types
+// outside the façade header itself and the model-checker engine
+// (src/common/model/). Suppression policy in docs/ANALYSIS.md §10.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace zz::tidy {
+
+class RawAtomicCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  RawAtomicCheck(llvm::StringRef Name, clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace zz::tidy

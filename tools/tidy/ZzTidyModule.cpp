@@ -1,11 +1,14 @@
-// The zz domain clang-tidy module: registers the four project-invariant
-// checks under the `zz-` prefix (docs/ANALYSIS.md §8). Built as a plugin
-// (`-load libzz_tidy_checks.so`) against the clang-tidy the host provides;
-// all clang/llvm symbols resolve from the loading clang-tidy binary.
+// The zz domain clang-tidy module: registers the six project-invariant
+// checks under the `zz-` prefix (docs/ANALYSIS.md §8, §10). Built as a
+// plugin (`-load libzz_tidy_checks.so`) against the clang-tidy the host
+// provides; all clang/llvm symbols resolve from the loading clang-tidy
+// binary.
 #include "ArenaSlotEscapeCheck.h"
 #include "DecodeCacheFingerprintCheck.h"
 #include "LayeringCheck.h"
+#include "MemoryOrderCheck.h"
 #include "NondeterminismCheck.h"
+#include "RawAtomicCheck.h"
 #include "clang-tidy/ClangTidyModule.h"
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
@@ -20,6 +23,8 @@ class ZzModule : public clang::tidy::ClangTidyModule {
     CheckFactories.registerCheck<ArenaSlotEscapeCheck>("zz-arena-slot-escape");
     CheckFactories.registerCheck<NondeterminismCheck>("zz-nondeterminism");
     CheckFactories.registerCheck<LayeringCheck>("zz-layering");
+    CheckFactories.registerCheck<RawAtomicCheck>("zz-raw-atomic");
+    CheckFactories.registerCheck<MemoryOrderCheck>("zz-memory-order");
   }
 };
 

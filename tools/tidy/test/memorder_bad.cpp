@@ -1,0 +1,17 @@
+// Positive fixture for zz-memory-order: expect diagnostics on implicit
+// seq_cst default arguments and on explicitly spelled seq_cst.
+#include <atomic>
+
+std::atomic<int> g{0};
+
+int implicit_default_load() {
+  return g.load();  // defaulted memory_order parameter
+}
+
+void implicit_default_rmw() {
+  g.fetch_add(1);  // defaulted memory_order parameter
+}
+
+int explicit_seq_cst() {
+  return g.load(std::memory_order_seq_cst);  // named outside the table
+}

@@ -1,0 +1,17 @@
+// Negative fixture for zz-memory-order: every façade call names its
+// ordering from the convention table — and the façade API gives no
+// defaulted alternative. Compiled with -I src/common/include.
+#include "zz/common/atomic.h"
+
+zz::Atomic<unsigned> g_state{0};
+
+bool publish(unsigned v) {
+  unsigned expected = 0;
+  if (!g_state.compare_exchange_strong(expected, 1, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed))
+    return false;
+  g_state.store(v, std::memory_order_release);
+  return true;
+}
+
+unsigned scan() { return g_state.load(std::memory_order_acquire); }

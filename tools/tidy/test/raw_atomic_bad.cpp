@@ -1,0 +1,18 @@
+// Positive fixture for zz-raw-atomic: expect diagnostics on every raw
+// std::atomic / std::atomic_flag mention and on the C-style free-function
+// API — all are invisible to the interleaving model checker.
+#include <atomic>
+
+std::atomic<int> g_counter{0};  // raw type at namespace scope
+
+struct Holder {
+  std::atomic_flag busy = ATOMIC_FLAG_INIT;  // raw flag member
+};
+
+int bump() {
+  return g_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+int free_fn_api() {
+  return std::atomic_load(&g_counter);  // free-function bypass
+}

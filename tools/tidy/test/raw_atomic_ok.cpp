@@ -1,0 +1,15 @@
+// Negative fixture for zz-raw-atomic: the REAL façade header (compiled
+// with -I src/common/include) embeds a std::atomic member, but its path
+// is on the check's allowlist — uses of zz::Atomic must stay clean.
+#include "zz/common/atomic.h"
+
+zz::Atomic<int> g_counter{0};
+
+int bump() {
+  return g_counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool try_take(zz::AtomicFlag& flag) {
+  zz::AtomicFlagGuard guard(flag);
+  return guard.acquired();
+}
